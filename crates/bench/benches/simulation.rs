@@ -1,0 +1,109 @@
+//! Benchmarks of the simulation substrates: the DES kernel's event
+//! calendar and FIFO stations, and end-to-end simulated-events-per-second
+//! for the cluster world.
+
+use anu_cluster::{run, ClusterConfig};
+use anu_core::TuningConfig;
+use anu_des::{Calendar, FifoStation, Job, SimDuration, SimTime, StartService};
+use anu_harness::{Experiment, PolicyKind};
+use anu_workload::{CostModel, SyntheticConfig, WeightDist};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("schedule+pop 1024 events", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..1024u64 {
+                // Scatter times to exercise heap reordering.
+                cal.schedule(SimTime((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = cal.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_station(c: &mut Criterion) {
+    c.bench_function("fifo_station/arrive+complete", |b| {
+        b.iter(|| {
+            let mut st: FifoStation<u32> = FifoStation::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..256u32 {
+                t += SimDuration(10);
+                if let StartService::At(done) = st.arrive(
+                    t,
+                    Job {
+                        arrival: t,
+                        service: SimDuration(25),
+                        meta: i,
+                    },
+                ) {
+                    black_box(done);
+                }
+            }
+            let mut now = t;
+            while st.population() > 0 {
+                now += SimDuration(25);
+                black_box(st.complete(now));
+            }
+            st.counters()
+        })
+    });
+}
+
+fn small_experiment(policy: (&str, PolicyKind)) -> Experiment {
+    let cluster = ClusterConfig::paper();
+    Experiment {
+        name: "bench".into(),
+        workload: SyntheticConfig {
+            n_file_sets: 100,
+            total_requests: 10_000,
+            duration_secs: 1_000.0,
+            weights: WeightDist::PowerOfUniform { alpha: 100.0 },
+            mean_cost_secs: 0.0,
+            cost: CostModel::UniformSpread { spread: 0.2 },
+            seed: 3,
+        }
+        .with_offered_load(0.5, cluster.total_speed())
+        .generate(),
+        cluster,
+        policies: vec![(policy.0.to_string(), policy.1)],
+        seed: 3,
+    }
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world/10k-requests");
+    g.throughput(Throughput::Elements(10_000));
+    for (label, kind) in [
+        ("round-robin", PolicyKind::RoundRobin),
+        (
+            "anu",
+            PolicyKind::Anu {
+                tuning: TuningConfig::paper(),
+            },
+        ),
+    ] {
+        let exp = small_experiment((label, kind));
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut policy = exp.policies[0]
+                    .1
+                    .build(&exp.cluster, &exp.workload, exp.seed);
+                run(&exp.cluster, &exp.workload, policy.as_mut())
+                    .summary
+                    .completed_requests
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_calendar, bench_station, bench_world);
+criterion_main!(benches);

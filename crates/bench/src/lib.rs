@@ -1,0 +1,15 @@
+//! # anu-bench
+//!
+//! Criterion benchmark harness for the ANU reproduction. All content lives
+//! in `benches/`:
+//!
+//! * `placement` — micro-benches of the core data structures (hash family,
+//!   locate, rebalance, membership);
+//! * `simulation` — DES kernel throughput and end-to-end simulated events
+//!   per second;
+//! * `figures` — one benchmark per paper figure (6–11) at reduced scale;
+//! * `ablations` — tuner cost per heuristic configuration, full delegate
+//!   cycles, membership-churn relocation.
+//!
+//! Run with `cargo bench -p anu-bench`. The full-size figure *data* comes
+//! from the `figures` binary in `anu-harness`, not from these benches.

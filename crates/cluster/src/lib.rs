@@ -1,0 +1,35 @@
+//! # anu-cluster — shared-disk metadata cluster simulation
+//!
+//! The simulated Storage Tank metadata tier the paper evaluates on (§2,
+//! §7), built on the [`anu_des`] kernel:
+//!
+//! * [`spec`] — server specs (relative speeds), tuning tick, migration
+//!   cost (5–10 s flush + init), cold-cache penalty, fault schedule;
+//! * [`policy`] — the [`PlacementPolicy`] trait the world drives; policies
+//!   see server identity and liveness only, never capability;
+//! * [`world`] — the deterministic event loop: request routing, FIFO
+//!   service, file-set migration with request buffering, failure draining
+//!   and failover;
+//! * [`metrics`] — per-server latency time series and run summaries
+//!   (imbalance CoV, oscillation score, …).
+//!
+//! The concrete policies (simple randomization, round-robin, prescient,
+//! ANU) live in `anu-policies`; this crate only defines the contract so
+//! the dependency graph stays acyclic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod closed_loop;
+pub mod metrics;
+pub mod policy;
+pub mod spec;
+pub mod world;
+
+pub use closed_loop::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
+pub use metrics::{
+    flip_count, late_imbalance, late_mean, oscillation_score, series_points, RunResult, RunSummary,
+};
+pub use policy::{Assignment, ClusterView, MoveSet, PlacementPolicy};
+pub use spec::{ClusterConfig, ColdCacheConfig, FaultEvent, MigrationConfig, ServerSpec};
+pub use world::run;

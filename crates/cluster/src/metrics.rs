@@ -1,0 +1,212 @@
+//! Run results: per-server latency series and summary statistics.
+
+use anu_core::ServerId;
+use anu_des::{OnlineStats, TimeSeries};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Policy name (figure label).
+    pub policy: String,
+    /// Workload label.
+    pub workload: String,
+    /// Per-server latency time series (mean latency per bucket, ms).
+    pub series: BTreeMap<ServerId, TimeSeries>,
+    /// Summary numbers.
+    pub summary: RunSummary,
+}
+
+/// Aggregate outcome of one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Requests offered by the workload.
+    pub offered_requests: u64,
+    /// Requests completed by the end of the run (stragglers drain after
+    /// the nominal horizon, so this equals offered unless a server stayed
+    /// overloaded past the end).
+    pub completed_requests: u64,
+    /// Overall mean latency (ms) across all completed requests.
+    pub mean_latency_ms: f64,
+    /// Maximum single-request latency (ms).
+    pub max_latency_ms: f64,
+    /// Per-server mean latency (ms).
+    pub per_server_mean_ms: BTreeMap<ServerId, f64>,
+    /// Per-server completed request counts.
+    pub per_server_requests: BTreeMap<ServerId, u64>,
+    /// Per-server utilization over the run.
+    pub per_server_utilization: BTreeMap<ServerId, f64>,
+    /// Number of file-set migrations performed.
+    pub migrations: u64,
+    /// Steady-state imbalance: coefficient of variation of per-server mean
+    /// latency over the second half of the run (idle servers included).
+    pub late_imbalance_cov: f64,
+    /// Mean latency (ms) over the second half of the run only — the
+    /// converged regime for adaptive policies.
+    pub late_mean_latency_ms: f64,
+}
+
+/// Build the late-half imbalance CoV from the per-server series.
+///
+/// For each server, take its mean latency over the buckets in the second
+/// half of the run; the CoV of those per-server numbers is the imbalance
+/// measure. A perfectly balanced system scores 0.
+pub fn late_imbalance(series: &BTreeMap<ServerId, TimeSeries>) -> f64 {
+    let mut per_server = OnlineStats::new();
+    for ts in series.values() {
+        let buckets = ts.buckets();
+        let half = buckets.len() / 2;
+        let (sum, count) = buckets[half..]
+            .iter()
+            .fold((0.0, 0u64), |(s, c), b| (s + b.sum, c + b.count));
+        let mean = if count == 0 { 0.0 } else { sum / count as f64 };
+        per_server.push(mean);
+    }
+    per_server.cov()
+}
+
+/// Mean latency across all servers over the second half of the run.
+pub fn late_mean(series: &BTreeMap<ServerId, TimeSeries>) -> f64 {
+    let (mut sum, mut count) = (0.0, 0u64);
+    for ts in series.values() {
+        let buckets = ts.buckets();
+        let half = buckets.len() / 2;
+        for b in &buckets[half..] {
+            sum += b.sum;
+            count += b.count;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Convenience: the series as `(minute, mean_ms)` points for one server.
+pub fn series_points(ts: &TimeSeries) -> Vec<(f64, f64)> {
+    ts.means().map(|(t, m)| (t.as_mins_f64(), m)).collect()
+}
+
+/// Oscillation score of one server's series: mean absolute bucket-to-bucket
+/// change divided by the series' overall mean. Over-tuning shows up as a
+/// large score (the server cycles between idle and overloaded); a converged
+/// server scores near zero.
+pub fn oscillation_score(ts: &TimeSeries) -> f64 {
+    let means: Vec<f64> = ts.means().map(|(_, m)| m).collect();
+    if means.len() < 2 {
+        return 0.0;
+    }
+    let overall: f64 = means.iter().sum::<f64>() / means.len() as f64;
+    if overall == 0.0 {
+        return 0.0;
+    }
+    let jumps: f64 =
+        means.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (means.len() - 1) as f64;
+    jumps / overall
+}
+
+/// Count busy↔idle flips of one server's series — the over-tuning
+/// signature the paper describes: the weakest server "cyclically takes on
+/// workload, exhibits high latency, releases workload, and goes to zero
+/// latency" (§7). A bucket is *idle* when its mean latency is below
+/// `idle_below` ms and *busy* when above `busy_above` ms; intermediate
+/// buckets keep the previous state. Returns the number of state changes.
+pub fn flip_count(ts: &TimeSeries, idle_below: f64, busy_above: f64) -> u32 {
+    debug_assert!(idle_below <= busy_above);
+    let mut state: Option<bool> = None; // Some(true) = busy
+    let mut flips = 0;
+    for (_, m) in ts.means() {
+        let new = if m <= idle_below {
+            Some(false)
+        } else if m >= busy_above {
+            Some(true)
+        } else {
+            state
+        };
+        if let (Some(a), Some(b)) = (state, new) {
+            if a != b {
+                flips += 1;
+            }
+        }
+        state = new.or(state);
+    }
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anu_des::{SimDuration, SimTime};
+
+    fn series_with(values: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(60 * values.len() as u64),
+        );
+        for (i, &v) in values.iter().enumerate() {
+            ts.record(SimTime::from_secs_f64(i as f64 * 60.0 + 1.0), v);
+        }
+        ts
+    }
+
+    #[test]
+    fn late_imbalance_zero_when_equal() {
+        let mut m = BTreeMap::new();
+        m.insert(ServerId(0), series_with(&[50.0, 50.0, 10.0, 10.0]));
+        m.insert(ServerId(1), series_with(&[99.0, 1.0, 10.0, 10.0]));
+        assert!(late_imbalance(&m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_imbalance_positive_when_skewed() {
+        let mut m = BTreeMap::new();
+        m.insert(ServerId(0), series_with(&[10.0, 10.0, 100.0, 100.0]));
+        m.insert(ServerId(1), series_with(&[10.0, 10.0, 0.0, 0.0]));
+        assert!(late_imbalance(&m) > 0.5);
+    }
+
+    #[test]
+    fn late_mean_uses_second_half() {
+        let mut m = BTreeMap::new();
+        m.insert(ServerId(0), series_with(&[1000.0, 1000.0, 10.0, 20.0]));
+        assert!((late_mean(&m) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oscillation_flat_is_zero() {
+        let ts = series_with(&[10.0, 10.0, 10.0, 10.0]);
+        assert!(oscillation_score(&ts) < 1e-12);
+    }
+
+    #[test]
+    fn oscillation_spiky_is_large() {
+        let spiky = series_with(&[0.0, 100.0, 0.0, 100.0, 0.0, 100.0]);
+        let smooth = series_with(&[50.0, 52.0, 49.0, 51.0, 50.0, 50.0]);
+        assert!(oscillation_score(&spiky) > 10.0 * oscillation_score(&smooth));
+    }
+
+    #[test]
+    fn flip_count_detects_cycling() {
+        let cycling = series_with(&[0.0, 500.0, 0.0, 500.0, 0.0, 500.0]);
+        assert_eq!(flip_count(&cycling, 10.0, 100.0), 5);
+        let parked = series_with(&[500.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(flip_count(&parked, 10.0, 100.0), 1);
+        let steady = series_with(&[50.0, 60.0, 55.0, 58.0]);
+        assert_eq!(flip_count(&steady, 10.0, 100.0), 0);
+        // Intermediate buckets keep the previous state.
+        let decay = series_with(&[500.0, 50.0, 50.0, 0.0, 500.0]);
+        assert_eq!(flip_count(&decay, 10.0, 100.0), 2);
+    }
+
+    #[test]
+    fn series_points_in_minutes() {
+        let ts = series_with(&[5.0, 7.0]);
+        let pts = series_points(&ts);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].0 - 0.0).abs() < 1e-12);
+        assert!((pts[1].0 - 1.0).abs() < 1e-12);
+        assert!((pts[1].1 - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! The placement-policy interface the cluster world drives.
+//!
+//! A policy decides which server owns each file set. The world calls it at
+//! startup, at every tuning tick (with the servers' latency reports), and
+//! on membership changes. Policies see only server *identities and
+//! liveness* through [`ClusterView`] — never speeds; a policy that wants
+//! capability knowledge (the prescient baseline) must be constructed with
+//! it explicitly, which keeps the "no a-priori knowledge" property of ANU
+//! auditable at the type level.
+
+use anu_core::{FileSetId, LoadReport, ServerId};
+use anu_des::SimTime;
+use std::collections::BTreeMap;
+
+/// What a policy can see of the cluster at a decision point.
+#[derive(Clone, Debug)]
+pub struct ClusterView {
+    /// All servers and whether each is alive, in id order.
+    pub servers: Vec<(ServerId, bool)>,
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+impl ClusterView {
+    /// Ids of alive servers.
+    pub fn alive(&self) -> Vec<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(_, a)| *a)
+            .map(|(s, _)| *s)
+            .collect()
+    }
+}
+
+/// A single file-set move order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MoveSet {
+    /// The file set to move.
+    pub set: FileSetId,
+    /// Destination server.
+    pub to: ServerId,
+}
+
+/// The current file-set → server assignment as the world tracks it.
+pub type Assignment = BTreeMap<FileSetId, ServerId>;
+
+/// A load-placement policy.
+///
+/// All methods are infallible: a policy must always produce a decision
+/// (possibly "no moves"). Moves targeting dead servers are rejected by the
+/// world with a panic, as that is a policy bug, not an environment error.
+pub trait PlacementPolicy {
+    /// Human-readable policy name (figure labels).
+    fn name(&self) -> &str;
+
+    /// Initial placement of `file_sets` before the workload starts.
+    fn initial(&mut self, view: &ClusterView, file_sets: &[FileSetId]) -> Assignment;
+
+    /// Tuning tick: latency reports for the last interval are in. Return
+    /// the file sets to move. Static policies return no moves.
+    fn on_tick(
+        &mut self,
+        view: &ClusterView,
+        reports: &[LoadReport],
+        assignment: &Assignment,
+    ) -> Vec<MoveSet>;
+
+    /// Server `failed` just died. Return moves that re-home every file set
+    /// currently assigned to it (the world passes the same view/assignment
+    /// it would for a tick). Moves for non-orphaned sets are allowed.
+    fn on_fail(
+        &mut self,
+        view: &ClusterView,
+        failed: ServerId,
+        assignment: &Assignment,
+    ) -> Vec<MoveSet>;
+
+    /// Server `recovered` just came (back) up. Return any rebalancing
+    /// moves toward it.
+    fn on_recover(
+        &mut self,
+        view: &ClusterView,
+        recovered: ServerId,
+        assignment: &Assignment,
+    ) -> Vec<MoveSet>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_alive_filters() {
+        let v = ClusterView {
+            servers: vec![
+                (ServerId(0), true),
+                (ServerId(1), false),
+                (ServerId(2), true),
+            ],
+            now: SimTime::ZERO,
+        };
+        assert_eq!(v.alive(), vec![ServerId(0), ServerId(2)]);
+    }
+}

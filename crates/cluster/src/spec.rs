@@ -1,0 +1,283 @@
+//! Cluster configuration: servers, tuning tick, migration costs, faults.
+
+use anu_core::ServerId;
+use anu_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One metadata server's static description.
+///
+/// `speed` is relative processing power: a request with service demand `d`
+/// (at speed 1) takes `d / speed` on this server. The paper's five-server
+/// cluster uses speeds 1, 3, 5, 7, 9 — the most powerful server is nine
+/// times the least (§7).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Server id.
+    pub id: ServerId,
+    /// Relative processing power (> 0).
+    pub speed: f64,
+}
+
+/// Cost model for moving a file set between servers.
+///
+/// "It takes five to ten seconds to move a file set from one server to
+/// another in our target system. The releasing server needs to flush its
+/// cache […]. The acquiring server must initialize the file set.
+/// Furthermore, the acquiring file server starts with a cold cache, which
+/// hinders performance initially." (§7)
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Releasing server's cache flush time.
+    pub flush: SimDuration,
+    /// Acquiring server's file set initialization time.
+    pub init: SimDuration,
+    /// If true, requests already queued (not in service) at the releasing
+    /// server follow the file set to its new owner. The paper's system
+    /// completes queued transactions at the releasing server as part of the
+    /// flush — those leftover "memento" tasks are exactly what divergent
+    /// tuning compensates for — so the faithful default is `false`.
+    pub queued_follow: bool,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        // 2 s flush + 5 s init = 7 s per move, inside the paper's 5-10 s.
+        MigrationConfig {
+            flush: SimDuration::from_secs(2),
+            init: SimDuration::from_secs(5),
+            queued_follow: false,
+        }
+    }
+}
+
+impl MigrationConfig {
+    /// Total wall time of one file-set move.
+    pub fn total(&self) -> SimDuration {
+        self.flush + self.init
+    }
+}
+
+/// Cold-cache penalty after a file set lands on a new server.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ColdCacheConfig {
+    /// Service-time multiplier at a completely cold cache.
+    pub multiplier: f64,
+    /// Number of requests over which the cache warms back to 1.0x.
+    pub warm_after: u32,
+}
+
+impl Default for ColdCacheConfig {
+    fn default() -> Self {
+        ColdCacheConfig {
+            multiplier: 2.0,
+            warm_after: 50,
+        }
+    }
+}
+
+impl ColdCacheConfig {
+    /// Multiplier after `served` requests since acquiring the file set.
+    pub fn factor(&self, served: u32) -> f64 {
+        if served >= self.warm_after || self.warm_after == 0 {
+            1.0
+        } else {
+            let progress = served as f64 / self.warm_after as f64;
+            1.0 + (self.multiplier - 1.0) * (1.0 - progress)
+        }
+    }
+}
+
+/// A scheduled fault-injection event.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Server fails (crash) at the given time.
+    Fail {
+        /// When.
+        at: SimTime,
+        /// Which server.
+        server: ServerId,
+    },
+    /// Server recovers (or a new server is commissioned) at the given time.
+    Recover {
+        /// When.
+        at: SimTime,
+        /// Which server.
+        server: ServerId,
+    },
+}
+
+impl FaultEvent {
+    /// The event's time.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FaultEvent::Fail { at, .. } | FaultEvent::Recover { at, .. } => at,
+        }
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Server descriptions. Ids must be unique.
+    pub servers: Vec<ServerSpec>,
+    /// Tuning interval — "the prescient policy and ANU randomization update
+    /// the workload configuration every two minutes" (§7).
+    pub tick: SimDuration,
+    /// File-set migration cost.
+    pub migration: MigrationConfig,
+    /// Cold-cache penalty after migration.
+    pub cold_cache: ColdCacheConfig,
+    /// Delay before a failed server's orphaned file sets restart on their
+    /// new owners (failure detection + reassignment).
+    pub failover_delay: SimDuration,
+    /// Bucket width of the recorded latency time series (figures: 1 min).
+    pub series_bucket: SimDuration,
+    /// Fault injections, if any.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl ClusterConfig {
+    /// The paper's evaluation cluster: five servers with processing powers
+    /// 1, 3, 5, 7, 9 and a two-minute tuning interval (§7).
+    pub fn paper() -> Self {
+        ClusterConfig {
+            servers: [1.0, 3.0, 5.0, 7.0, 9.0]
+                .iter()
+                .enumerate()
+                .map(|(i, &speed)| ServerSpec {
+                    id: ServerId(i as u32),
+                    speed,
+                })
+                .collect(),
+            tick: SimDuration::from_secs(120),
+            migration: MigrationConfig::default(),
+            cold_cache: ColdCacheConfig::default(),
+            failover_delay: SimDuration::from_secs(5),
+            series_bucket: SimDuration::from_secs(60),
+            faults: Vec::new(),
+        }
+    }
+
+    /// A homogeneous cluster of `n` speed-1 servers (for the
+    /// ANU-beats-simple-randomization-even-homogeneous experiment).
+    pub fn homogeneous(n: usize) -> Self {
+        let mut c = ClusterConfig::paper();
+        c.servers = (0..n as u32)
+            .map(|i| ServerSpec {
+                id: ServerId(i),
+                speed: 1.0,
+            })
+            .collect();
+        c
+    }
+
+    /// Total processing power.
+    pub fn total_speed(&self) -> f64 {
+        self.servers.iter().map(|s| s.speed).sum()
+    }
+
+    /// Server ids in declaration order.
+    pub fn server_ids(&self) -> Vec<ServerId> {
+        self.servers.iter().map(|s| s.id).collect()
+    }
+
+    /// Validate: non-empty, unique ids, positive speeds, positive tick.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.servers.is_empty() {
+            return Err("no servers".into());
+        }
+        let mut ids: Vec<ServerId> = self.server_ids();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != self.servers.len() {
+            return Err("duplicate server ids".into());
+        }
+        if self
+            .servers
+            .iter()
+            .any(|s| s.speed <= 0.0 || !s.speed.is_finite())
+        {
+            return Err("non-positive server speed".into());
+        }
+        if self.tick.0 == 0 {
+            return Err("zero tick".into());
+        }
+        if self.series_bucket.0 == 0 {
+            return Err("zero series bucket".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterConfig::paper();
+        assert_eq!(c.servers.len(), 5);
+        assert_eq!(c.total_speed(), 25.0);
+        assert_eq!(c.tick, SimDuration::from_secs(120));
+        assert!(c.validate().is_ok());
+        // Server 4 is nine times server 0 (paper §7).
+        assert_eq!(c.servers[4].speed / c.servers[0].speed, 9.0);
+    }
+
+    #[test]
+    fn migration_total_in_paper_range() {
+        let m = MigrationConfig::default();
+        let secs = m.total().as_secs_f64();
+        assert!((5.0..=10.0).contains(&secs), "{secs}");
+    }
+
+    #[test]
+    fn cold_cache_warms_linearly() {
+        let c = ColdCacheConfig {
+            multiplier: 3.0,
+            warm_after: 10,
+        };
+        assert!((c.factor(0) - 3.0).abs() < 1e-12);
+        assert!((c.factor(5) - 2.0).abs() < 1e-12);
+        assert!((c.factor(10) - 1.0).abs() < 1e-12);
+        assert!((c.factor(100) - 1.0).abs() < 1e-12);
+        // Degenerate config: no warm-up phase.
+        let z = ColdCacheConfig {
+            multiplier: 2.0,
+            warm_after: 0,
+        };
+        assert_eq!(z.factor(0), 1.0);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = ClusterConfig::paper();
+        c.servers[1].id = c.servers[0].id;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper();
+        c.servers[0].speed = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper();
+        c.tick = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper();
+        c.servers.clear();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn homogeneous_cluster() {
+        let c = ClusterConfig::homogeneous(4);
+        assert_eq!(c.servers.len(), 4);
+        assert!(c.servers.iter().all(|s| s.speed == 1.0));
+    }
+
+    #[test]
+    fn fault_event_time() {
+        let f = FaultEvent::Fail {
+            at: SimTime::from_secs_f64(10.0),
+            server: ServerId(1),
+        };
+        assert_eq!(f.at(), SimTime::from_secs_f64(10.0));
+    }
+}

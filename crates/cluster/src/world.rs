@@ -1,0 +1,789 @@
+//! The cluster simulation world: event loop, routing, migration, failure.
+//!
+//! Models the Storage Tank metadata tier the paper simulates (§2, §7):
+//! clients direct each metadata request to the server owning the target
+//! file set; servers are FIFO queues with relative speeds; a policy
+//! periodically reassigns file sets; moving a file set costs flush + init
+//! time, during which its requests buffer at the destination, and the
+//! destination starts with a cold cache. Failures drain a server's queue
+//! and re-home its file sets after a failover delay.
+
+use crate::metrics::{late_imbalance, late_mean, RunResult, RunSummary};
+use crate::policy::{Assignment, ClusterView, MoveSet, PlacementPolicy};
+use crate::spec::{ClusterConfig, FaultEvent};
+use anu_core::{FileSetId, LoadReport, ServerId};
+use anu_des::{
+    Calendar, FifoStation, IntervalStats, Job, OnlineStats, SimDuration, SimTime, StartService,
+    TimeSeries,
+};
+use anu_workload::Workload;
+use std::collections::{BTreeMap, HashMap};
+
+/// Events of the cluster simulation.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// The `i`-th request of the workload arrives.
+    Arrival(u32),
+    /// The in-service job at a server completes.
+    Complete(ServerId),
+    /// Delegate tuning tick.
+    Tick,
+    /// A file-set migration finishes at its destination.
+    MigrationDone(FileSetId),
+    /// The `i`-th configured fault fires.
+    Fault(u32),
+}
+
+/// Job metadata: which set the request targets, and the raw (speed-1)
+/// service demand so a drained job can be re-costed on its new server.
+#[derive(Clone, Copy, Debug)]
+struct JobInfo {
+    set: FileSetId,
+    cost: SimDuration,
+}
+
+struct ServerState {
+    speed: f64,
+    alive: bool,
+    station: FifoStation<JobInfo>,
+    interval: IntervalStats,
+    series: TimeSeries,
+    all: OnlineStats,
+    completed: u64,
+    /// Requests served per file set since that set was acquired — drives
+    /// the cold-cache factor.
+    warmth: HashMap<FileSetId, u32>,
+    /// The pending completion event for the in-service job, so a failure
+    /// that drains the station can cancel it (otherwise the stale event
+    /// would fire against an idle — or worse, re-busy — station).
+    completion: Option<anu_des::EventHandle>,
+}
+
+struct Migration {
+    to: ServerId,
+    /// Requests that arrived while the set was in flight: `(arrival, cost)`.
+    buffered: Vec<(SimTime, SimDuration)>,
+}
+
+struct World<'a> {
+    cfg: &'a ClusterConfig,
+    workload: &'a Workload,
+    cal: Calendar<Event>,
+    servers: BTreeMap<ServerId, ServerState>,
+    assignment: Assignment,
+    migrations: BTreeMap<FileSetId, Migration>,
+    horizon: SimTime,
+    migration_count: u64,
+    max_latency_ms: f64,
+}
+
+impl<'a> World<'a> {
+    fn view(&self) -> ClusterView {
+        ClusterView {
+            servers: self.servers.iter().map(|(&s, st)| (s, st.alive)).collect(),
+            now: self.cal.now(),
+        }
+    }
+
+    fn enqueue(&mut self, server: ServerId, arrival: SimTime, set: FileSetId, cost: SimDuration) {
+        let now = self.cal.now();
+        let st = self.servers.get_mut(&server).expect("known server");
+        debug_assert!(st.alive, "routing to dead server {server}");
+        let served = *st.warmth.get(&set).unwrap_or(&0);
+        let factor = self.cfg.cold_cache.factor(served);
+        *st.warmth.entry(set).or_insert(0) += 1;
+        let service = SimDuration::from_secs_f64(cost.as_secs_f64() / st.speed * factor);
+        let job = Job {
+            arrival,
+            service,
+            meta: JobInfo { set, cost },
+        };
+        if let StartService::At(t) = st.station.arrive(now, job) {
+            let h = self.cal.schedule(t, Event::Complete(server));
+            self.servers
+                .get_mut(&server)
+                .expect("known server")
+                .completion = Some(h);
+        }
+    }
+
+    fn handle_arrival(&mut self, idx: u32) {
+        // Chain the next arrival so the calendar stays small.
+        if (idx as usize + 1) < self.workload.requests.len() {
+            let next = &self.workload.requests[idx as usize + 1];
+            self.cal.schedule(next.arrival, Event::Arrival(idx + 1));
+        }
+        let req = self.workload.requests[idx as usize];
+        if let Some(m) = self.migrations.get_mut(&req.file_set) {
+            m.buffered.push((req.arrival, req.cost));
+            return;
+        }
+        let server = *self
+            .assignment
+            .get(&req.file_set)
+            .expect("every file set is assigned");
+        self.enqueue(server, req.arrival, req.file_set, req.cost);
+    }
+
+    fn handle_complete(&mut self, server: ServerId) {
+        let now = self.cal.now();
+        let st = self.servers.get_mut(&server).expect("known server");
+        let (job, next) = st.station.complete(now);
+        let latency = now.since(job.arrival);
+        st.interval.record(latency);
+        st.series.record(now, latency.as_millis_f64());
+        st.all.push(latency.as_millis_f64());
+        st.completed += 1;
+        self.max_latency_ms = self.max_latency_ms.max(latency.as_millis_f64());
+        let st = self.servers.get_mut(&server).expect("known server");
+        st.completion = match next {
+            Some(t) => Some(self.cal.schedule(t, Event::Complete(server))),
+            None => None,
+        };
+    }
+
+    fn collect_reports(&mut self) -> Vec<LoadReport> {
+        self.servers
+            .iter_mut()
+            .filter(|(_, st)| st.alive)
+            .map(|(&s, st)| {
+                let (mean_ms, count) = st.interval.take();
+                LoadReport {
+                    server: s,
+                    mean_latency_ms: mean_ms,
+                    requests: count,
+                }
+            })
+            .collect()
+    }
+
+    fn apply_moves(&mut self, moves: Vec<MoveSet>, delay: SimDuration, policy_name: &str) {
+        let now = self.cal.now();
+        for mv in moves {
+            assert!(
+                self.servers.get(&mv.to).is_some_and(|s| s.alive),
+                "{policy_name} moved {} to dead/unknown server {}",
+                mv.set,
+                mv.to
+            );
+            if let Some(m) = self.migrations.get_mut(&mv.set) {
+                // Already in flight. Retargeting is only meaningful when
+                // the old destination died; otherwise let it land and be
+                // reconsidered next tick.
+                let dest_dead = !self.servers[&m.to].alive;
+                if dest_dead {
+                    m.to = mv.to;
+                }
+                continue;
+            }
+            if self.assignment.get(&mv.set) == Some(&mv.to) {
+                continue;
+            }
+            // The releasing server drops the set: its cache is flushed.
+            // Queued jobs either complete at the releasing server (the
+            // paper's flush semantics — leaving the "memento" tasks that
+            // divergent tuning compensates for) or, optionally, follow the
+            // set to its new owner.
+            let mut buffered = Vec::new();
+            if let Some(&from) = self.assignment.get(&mv.set) {
+                if let Some(st) = self.servers.get_mut(&from) {
+                    st.warmth.remove(&mv.set);
+                    if self.cfg.migration.queued_follow {
+                        for job in st.station.remove_queued(|m| m.set == mv.set) {
+                            buffered.push((job.arrival, job.meta.cost));
+                        }
+                    }
+                }
+            }
+            self.migrations.insert(
+                mv.set,
+                Migration {
+                    to: mv.to,
+                    buffered,
+                },
+            );
+            self.cal.schedule(now + delay, Event::MigrationDone(mv.set));
+            self.migration_count += 1;
+        }
+    }
+
+    fn handle_migration_done(&mut self, set: FileSetId) {
+        let m = self.migrations.remove(&set).expect("migration exists");
+        // If the destination died while the set was in flight and no
+        // retarget arrived, home it on the lowest-id alive server; the
+        // policy rebalances at the next tick.
+        let to = if self.servers[&m.to].alive {
+            m.to
+        } else {
+            self.view().alive()[0]
+        };
+        self.assignment.insert(set, to);
+        // Acquiring server starts with a cold cache.
+        self.servers
+            .get_mut(&to)
+            .expect("alive server")
+            .warmth
+            .insert(set, 0);
+        for (arrival, cost) in m.buffered {
+            self.enqueue(to, arrival, set, cost);
+        }
+    }
+}
+
+/// Run `workload` against `cfg` under `policy`; returns the latency series
+/// and summary the figures are built from.
+///
+/// The run is fully deterministic: same config, workload and policy state
+/// produce identical results.
+pub fn run(
+    cfg: &ClusterConfig,
+    workload: &Workload,
+    policy: &mut dyn PlacementPolicy,
+) -> RunResult {
+    cfg.validate().expect("invalid cluster config");
+    let horizon = SimTime::ZERO + workload.duration();
+    let series_len = workload.duration() + cfg.series_bucket;
+
+    let mut world = World {
+        cfg,
+        workload,
+        cal: Calendar::new(),
+        servers: cfg
+            .servers
+            .iter()
+            .map(|s| {
+                (
+                    s.id,
+                    ServerState {
+                        speed: s.speed,
+                        alive: true,
+                        station: FifoStation::new(),
+                        interval: IntervalStats::new(),
+                        series: TimeSeries::new(cfg.series_bucket, series_len),
+                        all: OnlineStats::new(),
+                        completed: 0,
+                        warmth: HashMap::new(),
+                        completion: None,
+                    },
+                )
+            })
+            .collect(),
+        assignment: Assignment::new(),
+        migrations: BTreeMap::new(),
+        horizon,
+        migration_count: 0,
+        max_latency_ms: 0.0,
+    };
+
+    // Initial placement: every file set must land on an alive server.
+    let file_sets = workload.file_sets();
+    let view = world.view();
+    world.assignment = policy.initial(&view, &file_sets);
+    for fs in &file_sets {
+        let s = world
+            .assignment
+            .get(fs)
+            .unwrap_or_else(|| panic!("{} left {fs} unassigned", policy.name()));
+        assert!(world.servers[s].alive);
+        // Initial placement starts warm: the system has been serving these
+        // sets; the paper penalizes only post-move cold caches.
+        world
+            .servers
+            .get_mut(s)
+            .expect("known")
+            .warmth
+            .insert(*fs, cfg.cold_cache.warm_after);
+    }
+
+    // Seed events: first arrival, first tick, faults.
+    if !workload.requests.is_empty() {
+        world
+            .cal
+            .schedule(workload.requests[0].arrival, Event::Arrival(0));
+    }
+    world.cal.schedule(SimTime::ZERO + cfg.tick, Event::Tick);
+    for (i, f) in cfg.faults.iter().enumerate() {
+        world.cal.schedule(f.at(), Event::Fault(i as u32));
+    }
+
+    // Main loop.
+    while let Some((now, ev)) = world.cal.pop() {
+        match ev {
+            Event::Arrival(i) => world.handle_arrival(i),
+            Event::Complete(s) => world.handle_complete(s),
+            Event::MigrationDone(set) => world.handle_migration_done(set),
+            Event::Tick => {
+                let reports = world.collect_reports();
+                let view = world.view();
+                let moves = policy.on_tick(&view, &reports, &world.assignment);
+                let delay = cfg.migration.total();
+                world.apply_moves(moves, delay, policy.name());
+                let next = now + cfg.tick;
+                if next <= world.horizon {
+                    world.cal.schedule(next, Event::Tick);
+                }
+            }
+            Event::Fault(i) => match cfg.faults[i as usize] {
+                FaultEvent::Fail { server, .. } => {
+                    let st = world.servers.get_mut(&server).expect("known server");
+                    assert!(st.alive, "double failure of {server}");
+                    st.alive = false;
+                    let drained = st.station.drain(now);
+                    st.warmth.clear();
+                    // The in-service job (if any) died with the server: its
+                    // completion event must not fire.
+                    if let Some(h) = st.completion.take() {
+                        world.cal.cancel(h);
+                    }
+                    let view = world.view();
+                    let moves = policy.on_fail(&view, server, &world.assignment);
+                    world.apply_moves(moves, cfg.failover_delay, policy.name());
+                    // Every orphaned set must now be in flight; queued work
+                    // follows its set to the new owner.
+                    let orphans: Vec<FileSetId> = world
+                        .assignment
+                        .iter()
+                        .filter(|&(_, &s)| s == server)
+                        .map(|(&fs, _)| fs)
+                        .collect();
+                    for fs in orphans {
+                        assert!(
+                            world.migrations.contains_key(&fs),
+                            "{} left orphan {fs} on failed {server}",
+                            policy.name()
+                        );
+                        world.assignment.remove(&fs);
+                    }
+                    for job in drained {
+                        // Most drained jobs belong to orphaned sets (now in
+                        // flight); a few may belong to sets that migrated
+                        // away earlier but still had queued work here.
+                        if let Some(m) = world.migrations.get_mut(&job.meta.set) {
+                            m.buffered.push((job.arrival, job.meta.cost));
+                        } else {
+                            let owner = *world
+                                .assignment
+                                .get(&job.meta.set)
+                                .expect("set is assigned or migrating");
+                            world.enqueue(owner, job.arrival, job.meta.set, job.meta.cost);
+                        }
+                    }
+                }
+                FaultEvent::Recover { server, .. } => {
+                    let st = world.servers.get_mut(&server).expect("known server");
+                    assert!(!st.alive, "recovery of alive {server}");
+                    st.alive = true;
+                    let view = world.view();
+                    let moves = policy.on_recover(&view, server, &world.assignment);
+                    let delay = cfg.migration.total();
+                    world.apply_moves(moves, delay, policy.name());
+                }
+            },
+        }
+    }
+
+    // Assemble results.
+    let mut series = BTreeMap::new();
+    let mut per_server_mean_ms = BTreeMap::new();
+    let mut per_server_requests = BTreeMap::new();
+    let mut per_server_utilization = BTreeMap::new();
+    let mut total_lat = OnlineStats::new();
+    let end = world.cal.now().max(horizon);
+    let mut completed = 0;
+    for (&s, st) in &world.servers {
+        series.insert(s, st.series.clone());
+        per_server_mean_ms.insert(s, st.all.mean());
+        per_server_requests.insert(s, st.completed);
+        per_server_utilization.insert(s, st.station.utilization(end));
+        total_lat.merge(&st.all);
+        completed += st.completed;
+    }
+    let summary = RunSummary {
+        offered_requests: workload.requests.len() as u64,
+        completed_requests: completed,
+        mean_latency_ms: total_lat.mean(),
+        max_latency_ms: world.max_latency_ms,
+        per_server_mean_ms,
+        per_server_requests,
+        per_server_utilization,
+        migrations: world.migration_count,
+        late_imbalance_cov: late_imbalance(&series),
+        late_mean_latency_ms: late_mean(&series),
+    };
+    RunResult {
+        policy: policy.name().to_string(),
+        workload: workload.label.clone(),
+        series,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anu_workload::{CostModel, SyntheticConfig, WeightDist};
+
+    /// Static modulo policy for world tests: set j -> alive server j % n.
+    struct Modulo;
+
+    impl PlacementPolicy for Modulo {
+        fn name(&self) -> &str {
+            "modulo"
+        }
+        fn initial(&mut self, view: &ClusterView, file_sets: &[FileSetId]) -> Assignment {
+            let alive = view.alive();
+            file_sets
+                .iter()
+                .enumerate()
+                .map(|(i, &fs)| (fs, alive[i % alive.len()]))
+                .collect()
+        }
+        fn on_tick(&mut self, _: &ClusterView, _: &[LoadReport], _: &Assignment) -> Vec<MoveSet> {
+            Vec::new()
+        }
+        fn on_fail(
+            &mut self,
+            view: &ClusterView,
+            failed: ServerId,
+            assignment: &Assignment,
+        ) -> Vec<MoveSet> {
+            let alive = view.alive();
+            assignment
+                .iter()
+                .filter(|&(_, &s)| s == failed)
+                .enumerate()
+                .map(|(i, (&fs, _))| MoveSet {
+                    set: fs,
+                    to: alive[i % alive.len()],
+                })
+                .collect()
+        }
+        fn on_recover(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+            Vec::new()
+        }
+    }
+
+    /// A mover policy that bounces one set between two servers every tick,
+    /// to exercise migration buffering.
+    struct PingPong {
+        flip: bool,
+    }
+
+    impl PlacementPolicy for PingPong {
+        fn name(&self) -> &str {
+            "pingpong"
+        }
+        fn initial(&mut self, view: &ClusterView, file_sets: &[FileSetId]) -> Assignment {
+            let alive = view.alive();
+            file_sets.iter().map(|&fs| (fs, alive[0])).collect()
+        }
+        fn on_tick(
+            &mut self,
+            view: &ClusterView,
+            _: &[LoadReport],
+            _: &Assignment,
+        ) -> Vec<MoveSet> {
+            self.flip = !self.flip;
+            let alive = view.alive();
+            vec![MoveSet {
+                set: FileSetId(0),
+                to: alive[usize::from(self.flip) % alive.len()],
+            }]
+        }
+        fn on_fail(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+            Vec::new()
+        }
+        fn on_recover(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+            Vec::new()
+        }
+    }
+
+    fn small_workload(seed: u64) -> anu_workload::Workload {
+        SyntheticConfig {
+            n_file_sets: 20,
+            total_requests: 4_000,
+            duration_secs: 600.0,
+            weights: WeightDist::Constant,
+            mean_cost_secs: 0.02,
+            cost: CostModel::Deterministic,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(1);
+        let r = run(&cfg, &w, &mut Modulo);
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+        assert_eq!(r.summary.migrations, 0);
+        assert!(r.summary.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(2);
+        let a = run(&cfg, &w, &mut Modulo);
+        let b = run(&cfg, &w, &mut Modulo);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn slow_server_has_higher_latency_under_static_policy() {
+        // Equal sets per server but 9x speed difference: the slow server
+        // must show clearly worse latency.
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(3);
+        let r = run(&cfg, &w, &mut Modulo);
+        let slow = r.summary.per_server_mean_ms[&ServerId(0)];
+        let fast = r.summary.per_server_mean_ms[&ServerId(4)];
+        assert!(slow > 3.0 * fast, "slow {slow:.2}ms vs fast {fast:.2}ms");
+    }
+
+    #[test]
+    fn migrations_buffer_and_complete() {
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(4);
+        let r = run(&cfg, &w, &mut PingPong { flip: false });
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+        // 600 s / 120 s tick = 5 ticks; first flip moves to alive[1], and
+        // every subsequent tick alternates: one migration per tick.
+        assert!(r.summary.migrations >= 3, "{}", r.summary.migrations);
+    }
+
+    #[test]
+    fn failure_rehomes_and_completes_everything() {
+        let mut cfg = ClusterConfig::paper();
+        cfg.faults = vec![FaultEvent::Fail {
+            at: SimTime::from_secs_f64(200.0),
+            server: ServerId(2),
+        }];
+        let w = small_workload(5);
+        let r = run(&cfg, &w, &mut Modulo);
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+        // The failed server stops serving: its request count is well below
+        // a fair share of the run.
+        let failed = r.summary.per_server_requests[&ServerId(2)];
+        let healthy = r.summary.per_server_requests[&ServerId(3)];
+        assert!(failed < healthy, "failed {failed} vs healthy {healthy}");
+        assert!(r.summary.migrations >= 4, "orphans must migrate");
+    }
+
+    #[test]
+    fn failure_and_recovery_roundtrip() {
+        let mut cfg = ClusterConfig::paper();
+        cfg.faults = vec![
+            FaultEvent::Fail {
+                at: SimTime::from_secs_f64(150.0),
+                server: ServerId(1),
+            },
+            FaultEvent::Recover {
+                at: SimTime::from_secs_f64(350.0),
+                server: ServerId(1),
+            },
+        ];
+        let w = small_workload(6);
+        let r = run(&cfg, &w, &mut Modulo);
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+    }
+
+    #[test]
+    fn utilization_tracks_speed() {
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(7);
+        let r = run(&cfg, &w, &mut Modulo);
+        // Same per-server load, so utilization is inversely ordered by
+        // speed.
+        let u0 = r.summary.per_server_utilization[&ServerId(0)];
+        let u4 = r.summary.per_server_utilization[&ServerId(4)];
+        assert!(u0 > 2.0 * u4, "u0 {u0:.3} vs u4 {u4:.3}");
+    }
+
+    #[test]
+    fn series_cover_run() {
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(8);
+        let r = run(&cfg, &w, &mut Modulo);
+        for ts in r.series.values() {
+            assert!(ts.buckets().len() >= 10); // 600 s / 60 s buckets
+        }
+        let total: u64 = r
+            .series
+            .values()
+            .flat_map(|ts| ts.buckets().iter().map(|b| b.count))
+            .sum();
+        assert_eq!(total, r.summary.completed_requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "left orphan")]
+    fn policy_ignoring_failure_is_caught() {
+        struct BadPolicy;
+        impl PlacementPolicy for BadPolicy {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn initial(&mut self, view: &ClusterView, fs: &[FileSetId]) -> Assignment {
+                let alive = view.alive();
+                fs.iter()
+                    .enumerate()
+                    .map(|(i, &f)| (f, alive[i % alive.len()]))
+                    .collect()
+            }
+            fn on_tick(
+                &mut self,
+                _: &ClusterView,
+                _: &[LoadReport],
+                _: &Assignment,
+            ) -> Vec<MoveSet> {
+                Vec::new()
+            }
+            fn on_fail(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+                Vec::new() // bug: ignores orphans
+            }
+            fn on_recover(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+                Vec::new()
+            }
+        }
+        let mut cfg = ClusterConfig::paper();
+        cfg.faults = vec![FaultEvent::Fail {
+            at: SimTime::from_secs_f64(100.0),
+            server: ServerId(0),
+        }];
+        let w = small_workload(9);
+        run(&cfg, &w, &mut BadPolicy);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::policy::MoveSet;
+    use anu_workload::{CostModel, SyntheticConfig, WeightDist};
+
+    /// Moves one chosen set to a chosen destination at the first tick.
+    struct OneMove {
+        set: FileSetId,
+        to: ServerId,
+        done: bool,
+    }
+
+    impl PlacementPolicy for OneMove {
+        fn name(&self) -> &str {
+            "one-move"
+        }
+        fn initial(&mut self, view: &ClusterView, fs: &[FileSetId]) -> Assignment {
+            let alive = view.alive();
+            // Everything except the destination gets the sets, so the move
+            // is guaranteed to change servers.
+            fs.iter()
+                .map(|&f| {
+                    (
+                        f,
+                        if alive[0] == self.to {
+                            alive[1]
+                        } else {
+                            alive[0]
+                        },
+                    )
+                })
+                .collect()
+        }
+        fn on_tick(&mut self, _: &ClusterView, _: &[LoadReport], _: &Assignment) -> Vec<MoveSet> {
+            if self.done {
+                return Vec::new();
+            }
+            self.done = true;
+            vec![MoveSet {
+                set: self.set,
+                to: self.to,
+            }]
+        }
+        fn on_fail(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+            Vec::new()
+        }
+        fn on_recover(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+            Vec::new()
+        }
+    }
+
+    fn uniform_workload(seed: u64) -> anu_workload::Workload {
+        SyntheticConfig {
+            n_file_sets: 4,
+            total_requests: 4_000,
+            duration_secs: 800.0,
+            weights: WeightDist::Constant,
+            mean_cost_secs: 0.01,
+            cost: CostModel::Deterministic,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn cold_cache_inflates_post_move_service() {
+        // Same scenario with and without a cold-cache penalty: the moved
+        // set's requests right after the migration must be slower under
+        // the penalty, and only transiently.
+        let base = ClusterConfig::paper();
+        let w = uniform_workload(21);
+        let moved = FileSetId(0);
+        let dest = ServerId(4);
+
+        let run_with_penalty = |mult: f64| {
+            let mut cfg = base.clone();
+            cfg.cold_cache = crate::spec::ColdCacheConfig {
+                multiplier: mult,
+                warm_after: 100,
+            };
+            let mut p = OneMove {
+                set: moved,
+                to: dest,
+                done: false,
+            };
+            run(&cfg, &w, &mut p)
+        };
+
+        let cold = run_with_penalty(4.0);
+        let warm = run_with_penalty(1.0);
+        assert_eq!(
+            cold.summary.completed_requests,
+            warm.summary.completed_requests
+        );
+        // The destination's total busy time is strictly larger with the
+        // penalty (it served the same requests, each inflated at first).
+        let u_cold = cold.summary.per_server_utilization[&dest];
+        let u_warm = warm.summary.per_server_utilization[&dest];
+        assert!(
+            u_cold > u_warm,
+            "cold-cache utilization {u_cold:.4} must exceed warm {u_warm:.4}"
+        );
+    }
+
+    #[test]
+    fn queued_follow_moves_waiting_requests() {
+        // With queued_follow, the destination serves strictly more of the
+        // moved set's requests (it also gets the backlog).
+        let w = uniform_workload(22);
+        let moved = FileSetId(0);
+        let dest = ServerId(4);
+        let run_mode = |follow: bool| {
+            let mut cfg = ClusterConfig::paper();
+            cfg.migration.queued_follow = follow;
+            let mut p = OneMove {
+                set: moved,
+                to: dest,
+                done: false,
+            };
+            run(&cfg, &w, &mut p).summary.per_server_requests[&dest]
+        };
+        let with_follow = run_mode(true);
+        let without = run_mode(false);
+        assert!(
+            with_follow >= without,
+            "queued_follow {with_follow} vs flush-at-source {without}"
+        );
+    }
+}

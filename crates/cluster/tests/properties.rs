@@ -1,0 +1,149 @@
+//! Property tests of the cluster world: conservation and liveness under
+//! randomized workloads, policies and fault schedules.
+
+use anu_cluster::{
+    run, Assignment, ClusterConfig, ClusterView, FaultEvent, MoveSet, PlacementPolicy, ServerSpec,
+};
+use anu_core::{FileSetId, LoadReport, ServerId};
+use anu_des::{SimDuration, SimTime};
+use anu_workload::{CostModel, SyntheticConfig, WeightDist};
+use proptest::prelude::*;
+
+/// Static modulo policy reused as a deterministic baseline.
+struct Modulo;
+
+impl PlacementPolicy for Modulo {
+    fn name(&self) -> &str {
+        "modulo"
+    }
+    fn initial(&mut self, view: &ClusterView, file_sets: &[FileSetId]) -> Assignment {
+        let alive = view.alive();
+        file_sets
+            .iter()
+            .enumerate()
+            .map(|(i, &fs)| (fs, alive[i % alive.len()]))
+            .collect()
+    }
+    fn on_tick(&mut self, _: &ClusterView, _: &[LoadReport], _: &Assignment) -> Vec<MoveSet> {
+        Vec::new()
+    }
+    fn on_fail(
+        &mut self,
+        view: &ClusterView,
+        failed: ServerId,
+        assignment: &Assignment,
+    ) -> Vec<MoveSet> {
+        let alive = view.alive();
+        assignment
+            .iter()
+            .filter(|&(_, &s)| s == failed)
+            .enumerate()
+            .map(|(i, (&fs, _))| MoveSet {
+                set: fs,
+                to: alive[i % alive.len()],
+            })
+            .collect()
+    }
+    fn on_recover(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+        Vec::new()
+    }
+}
+
+fn workload(seed: u64, n_sets: usize, requests: u64) -> anu_workload::Workload {
+    SyntheticConfig {
+        n_file_sets: n_sets,
+        total_requests: requests,
+        duration_secs: 400.0,
+        weights: WeightDist::PowerOfUniform { alpha: 20.0 },
+        mean_cost_secs: 0.05,
+        cost: CostModel::Deterministic,
+        seed,
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_completes(
+        seed in any::<u64>(),
+        n_sets in 5usize..40,
+        speeds in prop::collection::vec(1.0f64..9.0, 3..7),
+    ) {
+        let mut cfg = ClusterConfig::paper();
+        cfg.servers = speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ServerSpec { id: ServerId(i as u32), speed: s })
+            .collect();
+        let w = workload(seed, n_sets, 2_000);
+        let r = run(&cfg, &w, &mut Modulo);
+        prop_assert_eq!(r.summary.completed_requests, 2_000);
+        // Latency accounting is conservative: every series bucket count sums
+        // to completions.
+        let total: u64 = r
+            .series
+            .values()
+            .flat_map(|ts| ts.buckets().iter().map(|b| b.count))
+            .sum();
+        prop_assert_eq!(total, 2_000);
+    }
+
+    #[test]
+    fn single_fault_then_recover_conserves(
+        seed in any::<u64>(),
+        victim in 0u32..5,
+        fail_frac in 0.1f64..0.5,
+        recover_gap in 0.1f64..0.4,
+    ) {
+        let mut cfg = ClusterConfig::paper();
+        let fail_at = 400.0 * fail_frac;
+        let recover_at = fail_at + 400.0 * recover_gap;
+        cfg.faults = vec![
+            FaultEvent::Fail { at: SimTime::from_secs_f64(fail_at), server: ServerId(victim) },
+            FaultEvent::Recover { at: SimTime::from_secs_f64(recover_at), server: ServerId(victim) },
+        ];
+        let w = workload(seed, 20, 2_000);
+        let r = run(&cfg, &w, &mut Modulo);
+        prop_assert_eq!(r.summary.completed_requests, 2_000);
+        prop_assert!(r.summary.migrations >= 1, "orphans must have moved");
+    }
+
+    #[test]
+    fn anu_policy_survives_fault_schedules(
+        seed in any::<u64>(),
+        victims in prop::collection::vec(0u32..5, 1..3),
+    ) {
+        // Distinct victims failing at staggered times, recovering later.
+        let mut dedup = victims.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let mut cfg = ClusterConfig::paper();
+        for (i, &v) in dedup.iter().enumerate() {
+            let base = 80.0 + 90.0 * i as f64;
+            cfg.faults.push(FaultEvent::Fail {
+                at: SimTime::from_secs_f64(base),
+                server: ServerId(v),
+            });
+            cfg.faults.push(FaultEvent::Recover {
+                at: SimTime::from_secs_f64(base + 60.0),
+                server: ServerId(v),
+            });
+        }
+        let w = workload(seed, 30, 3_000);
+        let mut policy = anu_policies::AnuPolicy::with_seed(seed);
+        let r = run(&cfg, &w, &mut policy);
+        prop_assert_eq!(r.summary.completed_requests, 3_000);
+    }
+
+    #[test]
+    fn shorter_tick_never_loses_requests(seed in any::<u64>(), tick_s in 20u64..200) {
+        let mut cfg = ClusterConfig::paper();
+        cfg.tick = SimDuration::from_secs(tick_s);
+        let w = workload(seed, 25, 2_500);
+        let mut policy = anu_policies::AnuPolicy::with_seed(seed);
+        let r = run(&cfg, &w, &mut policy);
+        prop_assert_eq!(r.summary.completed_requests, 2_500);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for placement-map operations.
+
+use crate::ids::ServerId;
+use std::fmt;
+
+/// Errors produced by the ANU core data structures.
+///
+/// All mutating operations on the partition table and placement map validate
+/// their inputs and return one of these instead of panicking, so a cluster
+/// controller can surface misconfiguration without crashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnuError {
+    /// A server id was expected to be present in the map but was not.
+    UnknownServer(ServerId),
+    /// A server id was being added but already exists.
+    DuplicateServer(ServerId),
+    /// A rebalance was requested whose target shares do not cover exactly
+    /// the current server set.
+    TargetServerMismatch,
+    /// Target shares do not sum to the half-occupancy total.
+    BadTargetSum {
+        /// Sum the caller provided (fixed-point units).
+        got: u64,
+        /// Required sum (half the unit interval).
+        want: u64,
+    },
+    /// The table ran out of free partitions while growing a server. This
+    /// cannot happen while the `partitions >= 2 * servers` invariant holds;
+    /// seeing it indicates internal corruption or a hand-built table that
+    /// violates the invariant.
+    NoFreePartition,
+    /// An operation requires at least one server.
+    EmptyCluster,
+    /// The requested partition count is out of the supported range.
+    BadPartitionCount(u32),
+}
+
+impl fmt::Display for AnuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnuError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            AnuError::DuplicateServer(s) => write!(f, "server {s} already present"),
+            AnuError::TargetServerMismatch => {
+                write!(f, "target shares must cover exactly the current servers")
+            }
+            AnuError::BadTargetSum { got, want } => {
+                write!(f, "target shares sum to {got}, expected {want}")
+            }
+            AnuError::NoFreePartition => {
+                write!(f, "no free partition available (invariant violated)")
+            }
+            AnuError::EmptyCluster => write!(f, "operation requires at least one server"),
+            AnuError::BadPartitionCount(k) => {
+                write!(f, "log2 partition count {k} outside supported range 1..=20")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnuError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AnuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AnuError::UnknownServer(ServerId(4)).to_string(),
+            "unknown server s4"
+        );
+        assert!(AnuError::BadTargetSum { got: 1, want: 2 }
+            .to_string()
+            .contains("expected 2"));
+        let e: Box<dyn std::error::Error> = Box::new(AnuError::EmptyCluster);
+        assert!(e.to_string().contains("at least one server"));
+    }
+}

@@ -1,0 +1,434 @@
+//! The delegate's load-update algorithm.
+//!
+//! Each server monitors its request latency over a tuning interval and
+//! reports it to an elected delegate. The delegate condenses the reports
+//! into an average `μ`, scales down the mapped regions of servers above it
+//! and (heuristics permitting) scales up the regions of servers below it,
+//! then renormalizes so the half-occupancy invariant holds.
+//!
+//! The base algorithm is **stateless**: the new configuration is computed
+//! solely from the latencies reported against the current configuration, so
+//! a delegate failover loses nothing — the next delegate runs the same
+//! protocol with the same information. Divergent tuning is the single
+//! stateful extension and degrades gracefully when the state is missing
+//! (see [`crate::heuristics`]).
+
+use crate::heuristics::{AverageKind, TuningConfig};
+use crate::ids::ServerId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One server's performance report for the last tuning interval.
+///
+/// Latency is the metric: the metadata workload consists of small,
+/// short-lived transactions with low service-time variance, so request
+/// latency tracks load directly (paper §2). A server that completed no
+/// requests reports zero latency.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Reporting server.
+    pub server: ServerId,
+    /// Mean request latency over the interval, in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Number of requests completed in the interval.
+    pub requests: u64,
+}
+
+/// Outcome of one delegate tuning pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunePlan {
+    /// New relative shares (sum 1) to apply via
+    /// [`crate::placement::PlacementMap::rebalance`].
+    pub targets: BTreeMap<ServerId, f64>,
+    /// The average latency the movers were compared against.
+    pub mu: f64,
+    /// Servers whose regions were explicitly scaled this pass.
+    pub movers: Vec<ServerId>,
+}
+
+/// Anything that can turn latency reports into new share targets.
+///
+/// Two implementations ship: the centralized delegate [`Tuner`] (the
+/// paper's algorithm) and the decentralized
+/// [`PairwiseTuner`](crate::pairwise::PairwiseTuner) (the paper's §5
+/// future-work design). The ANU policy is generic over this, so the two
+/// can be compared under identical cluster conditions.
+pub trait SharePlanner: Send {
+    /// Compute new relative share targets from the current shares and the
+    /// last interval's reports; `None` means "leave the configuration
+    /// untouched".
+    fn plan_shares(
+        &mut self,
+        shares: &BTreeMap<ServerId, f64>,
+        reports: &[LoadReport],
+    ) -> Option<BTreeMap<ServerId, f64>>;
+
+    /// Drop any cross-interval state (delegate failover / peer restart).
+    fn forget(&mut self);
+
+    /// Label for reports and figures.
+    fn planner_name(&self) -> &'static str;
+}
+
+impl SharePlanner for Tuner {
+    fn plan_shares(
+        &mut self,
+        shares: &BTreeMap<ServerId, f64>,
+        reports: &[LoadReport],
+    ) -> Option<BTreeMap<ServerId, f64>> {
+        self.plan(shares, reports).map(|p| p.targets)
+    }
+
+    fn forget(&mut self) {
+        self.forget_state();
+    }
+
+    fn planner_name(&self) -> &'static str {
+        "centralized-delegate"
+    }
+}
+
+impl SharePlanner for crate::pairwise::PairwiseTuner {
+    fn plan_shares(
+        &mut self,
+        shares: &BTreeMap<ServerId, f64>,
+        reports: &[LoadReport],
+    ) -> Option<BTreeMap<ServerId, f64>> {
+        self.plan(shares, reports)
+    }
+
+    fn forget(&mut self) {
+        self.forget_state();
+    }
+
+    fn planner_name(&self) -> &'static str {
+        "pairwise-gossip"
+    }
+}
+
+/// The delegate's tuner: consumes [`LoadReport`]s, produces share targets.
+#[derive(Clone, Debug, Default)]
+pub struct Tuner {
+    cfg: TuningConfig,
+    /// Latencies from the previous interval, for divergent tuning. `None`
+    /// until the first pass completes — and after any simulated delegate
+    /// failover via [`Tuner::forget_state`].
+    prev: Option<BTreeMap<ServerId, f64>>,
+}
+
+impl Tuner {
+    /// Create a tuner with the given configuration.
+    pub fn new(cfg: TuningConfig) -> Self {
+        Tuner { cfg, prev: None }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TuningConfig {
+        &self.cfg
+    }
+
+    /// Drop the previous-interval state, as a delegate failover would.
+    pub fn forget_state(&mut self) {
+        self.prev = None;
+    }
+
+    /// Compute the delegate's average latency from `reports`.
+    ///
+    /// Returns `None` when there is no information to act on (no requests
+    /// completed anywhere).
+    pub fn average(&self, reports: &[LoadReport]) -> Option<f64> {
+        match self.cfg.average {
+            AverageKind::WeightedMean => {
+                let total: u64 = reports.iter().map(|r| r.requests).sum();
+                if total == 0 {
+                    return None;
+                }
+                let sum: f64 = reports
+                    .iter()
+                    .map(|r| r.mean_latency_ms * r.requests as f64)
+                    .sum();
+                Some(sum / total as f64)
+            }
+            AverageKind::Median => {
+                if reports.iter().all(|r| r.requests == 0) {
+                    return None;
+                }
+                let mut lats: Vec<f64> = reports.iter().map(|r| r.mean_latency_ms).collect();
+                lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let n = lats.len();
+                Some(if n % 2 == 1 {
+                    lats[n / 2]
+                } else {
+                    (lats[n / 2 - 1] + lats[n / 2]) / 2.0
+                })
+            }
+        }
+    }
+
+    /// Run one tuning pass.
+    ///
+    /// `shares` are the current relative shares (any non-negative scale);
+    /// `reports` cover the last interval. Returns `None` if the system is
+    /// considered balanced (no mover selected) — the configuration should
+    /// then be left untouched. Previous-interval state is updated either
+    /// way.
+    pub fn plan(
+        &mut self,
+        shares: &BTreeMap<ServerId, f64>,
+        reports: &[LoadReport],
+    ) -> Option<TunePlan> {
+        let lat: BTreeMap<ServerId, f64> = reports
+            .iter()
+            .map(|r| (r.server, r.mean_latency_ms))
+            .collect();
+        let result = self.plan_inner(shares, reports, &lat);
+        self.prev = Some(lat);
+        result
+    }
+
+    fn plan_inner(
+        &self,
+        shares: &BTreeMap<ServerId, f64>,
+        reports: &[LoadReport],
+        lat: &BTreeMap<ServerId, f64>,
+    ) -> Option<TunePlan> {
+        let mu = self.average(reports)?;
+        if mu <= 0.0 {
+            return None; // nothing is queuing anywhere
+        }
+        let share_total: f64 = shares.values().sum();
+        if share_total <= 0.0 {
+            return None;
+        }
+
+        let mut targets = BTreeMap::new();
+        let mut movers = Vec::new();
+        for (&s, &share) in shares {
+            let latency = lat.get(&s).copied().unwrap_or(0.0);
+            let frozen = self.cfg.within_band(latency, mu)
+                || !self.cfg.divergence_allows(
+                    latency,
+                    mu,
+                    self.prev.as_ref().and_then(|p| p.get(&s).copied()),
+                );
+            if frozen {
+                targets.insert(s, share);
+                continue;
+            }
+            movers.push(s);
+            let raw_factor = if latency <= 0.0 {
+                self.cfg.max_factor // idle server: grow at the clamp
+            } else {
+                (mu / latency).powf(self.cfg.gamma)
+            };
+            let factor = raw_factor.clamp(1.0 / self.cfg.max_factor, self.cfg.max_factor);
+            // Multiplication cannot restart a share that collapsed to ~zero;
+            // floor it when growing so the server can re-enter.
+            let base = if factor > 1.0 {
+                share.max(self.cfg.min_grow_share * share_total)
+            } else {
+                share
+            };
+            targets.insert(s, base * factor);
+        }
+
+        if movers.is_empty() {
+            return None;
+        }
+        // Renormalize to sum 1. Frozen servers absorb the slack — that is
+        // the "implicit" gain/loss that preserves half occupancy.
+        let total: f64 = targets.values().sum();
+        for v in targets.values_mut() {
+            *v /= total;
+        }
+        Some(TunePlan {
+            targets,
+            mu,
+            movers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(s: u32, lat: f64, req: u64) -> LoadReport {
+        LoadReport {
+            server: ServerId(s),
+            mean_latency_ms: lat,
+            requests: req,
+        }
+    }
+
+    fn equal_shares(n: u32) -> BTreeMap<ServerId, f64> {
+        (0..n).map(|i| (ServerId(i), 1.0 / n as f64)).collect()
+    }
+
+    #[test]
+    fn weighted_mean_average() {
+        let t = Tuner::new(TuningConfig::plain());
+        let mu = t
+            .average(&[report(0, 100.0, 300), report(1, 10.0, 100)])
+            .unwrap();
+        assert!((mu - (100.0 * 300.0 + 10.0 * 100.0) / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_average() {
+        let mut cfg = TuningConfig::plain();
+        cfg.average = AverageKind::Median;
+        let t = Tuner::new(cfg);
+        let mu = t
+            .average(&[report(0, 5.0, 1), report(1, 100.0, 1), report(2, 10.0, 1)])
+            .unwrap();
+        assert_eq!(mu, 10.0);
+        let mu2 = t.average(&[report(0, 5.0, 1), report(1, 15.0, 1)]).unwrap();
+        assert_eq!(mu2, 10.0);
+    }
+
+    #[test]
+    fn no_requests_no_plan() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        assert!(t
+            .plan(&equal_shares(3), &[report(0, 0.0, 0), report(1, 0.0, 0)])
+            .is_none());
+    }
+
+    #[test]
+    fn overloaded_server_shrinks() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(2);
+        let plan = t
+            .plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 100)])
+            .unwrap();
+        assert!(plan.targets[&ServerId(0)] < shares[&ServerId(0)]);
+        assert!(plan.targets[&ServerId(1)] > shares[&ServerId(1)]);
+        let sum: f64 = plan.targets.values().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(plan.movers.len(), 2);
+    }
+
+    #[test]
+    fn scaling_rule_sqrt() {
+        // With gamma = 0.5 and latency 4x the average, the raw factor is
+        // (1/4)^0.5 = 0.5 before renormalization.
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(2);
+        // mu = (400*100 + 100*300)/400 = 175; factor0 = (175/400)^0.5.
+        let plan = t
+            .plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 300)])
+            .unwrap();
+        let raw0 = 0.5 * (175.0f64 / 400.0).sqrt();
+        let raw1 = 0.5 * (175.0f64 / 100.0).sqrt();
+        let want0 = raw0 / (raw0 + raw1);
+        assert!((plan.targets[&ServerId(0)] - want0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_clamped() {
+        let mut cfg = TuningConfig::plain();
+        cfg.max_factor = 2.0;
+        let mut t = Tuner::new(cfg);
+        let shares = equal_shares(2);
+        // mu ~= 1.0; server 0 is 10000x over (raw factor 0.01 -> clamp 0.5)
+        // and server 1 is 1000x under (raw factor ~31.6 -> clamp 2.0).
+        let plan = t
+            .plan(&shares, &[report(0, 10_000.0, 1), report(1, 0.001, 10_000)])
+            .unwrap();
+        // raw shares: s0 = 0.5*0.5 = 0.25, s1 = 0.5*2.0 = 1.0.
+        assert!(
+            (plan.targets[&ServerId(0)] - 0.25 / 1.25).abs() < 1e-3,
+            "got {}",
+            plan.targets[&ServerId(0)]
+        );
+    }
+
+    #[test]
+    fn idle_server_regrows_without_top_off() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let mut shares = equal_shares(2);
+        *shares.get_mut(&ServerId(0)).unwrap() = 0.0; // collapsed
+        *shares.get_mut(&ServerId(1)).unwrap() = 1.0;
+        let plan = t
+            .plan(&shares, &[report(0, 0.0, 0), report(1, 100.0, 500)])
+            .unwrap();
+        assert!(
+            plan.targets[&ServerId(0)] > 0.0,
+            "min_grow_share must restart the idle server"
+        );
+    }
+
+    #[test]
+    fn top_off_leaves_idle_server_alone() {
+        let mut t = Tuner::new(TuningConfig::top_off_only(0.5));
+        let shares = equal_shares(3);
+        let plan = t
+            .plan(
+                &shares,
+                &[
+                    report(0, 0.0, 0),     // idle: inside [0, mu(1+t)]
+                    report(1, 500.0, 100), // overloaded
+                    report(2, 100.0, 400), // fine
+                ],
+            )
+            .unwrap();
+        assert_eq!(plan.movers, vec![ServerId(1)]);
+        // Idle server 0 still gains implicitly via renormalization.
+        assert!(plan.targets[&ServerId(0)] > shares[&ServerId(0)]);
+        assert!(plan.targets[&ServerId(1)] < shares[&ServerId(1)]);
+    }
+
+    #[test]
+    fn thresholding_freezes_in_band() {
+        let mut t = Tuner::new(TuningConfig::thresholding_only(0.5));
+        let shares = equal_shares(2);
+        // Both servers within ±50% of mu: no plan.
+        assert!(t
+            .plan(&shares, &[report(0, 120.0, 100), report(1, 90.0, 100)])
+            .is_none());
+    }
+
+    #[test]
+    fn divergent_blocks_converging_server() {
+        let mut t = Tuner::new(TuningConfig::divergent_only());
+        let shares = equal_shares(2);
+        // First pass establishes state (and plans, since no prev state).
+        t.plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 100)]);
+        // Second pass: server 0 fell from 400 to 300 (converging): frozen.
+        // Server 1 rose from 100 to 150 but is below mu: rising = converging
+        // from below? mu = (300*100+150*100)/200 = 225; s1 at 150 < mu and
+        // rising => blocked; s0 at 300 > mu and falling => blocked.
+        let plan = t.plan(&shares, &[report(0, 300.0, 100), report(1, 150.0, 100)]);
+        assert!(plan.is_none(), "both servers converging on their own");
+    }
+
+    #[test]
+    fn forget_state_disables_divergence_once() {
+        let mut t = Tuner::new(TuningConfig::divergent_only());
+        let shares = equal_shares(2);
+        t.plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 100)]);
+        t.forget_state(); // delegate failover
+                          // Without prev state, divergence abstains: plan proceeds.
+        let plan = t.plan(&shares, &[report(0, 300.0, 100), report(1, 150.0, 100)]);
+        assert!(plan.is_some());
+    }
+
+    #[test]
+    fn all_balanced_exact_no_plan() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(2);
+        assert!(t
+            .plan(&shares, &[report(0, 100.0, 50), report(1, 100.0, 50)])
+            .is_none());
+    }
+
+    #[test]
+    fn mu_zero_no_plan() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(2);
+        assert!(t
+            .plan(&shares, &[report(0, 0.0, 10), report(1, 0.0, 10)])
+            .is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! Property-based tests for the ANU core invariants.
+//!
+//! These exercise the claims the paper's correctness rests on:
+//! half occupancy, the per-server shape invariant, minimal movement under
+//! rescaling, exact takeover on failure, and zero movement on
+//! repartitioning — across randomized cluster sizes, share vectors, and
+//! operation sequences.
+
+use anu_core::{shares, FileSetId, PlacementMap, ServerId, HALF_UNIT};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn server_ids(n: usize) -> Vec<ServerId> {
+    (0..n as u32).map(ServerId).collect()
+}
+
+fn names(n: u64) -> Vec<[u8; 8]> {
+    (0..n).map(|i| FileSetId(i).name_bytes()).collect()
+}
+
+/// Arbitrary positive weight vectors for `n` servers.
+fn weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normalize_always_sums_to_half(n in 1usize..12, ws in prop::collection::vec(0.0f64..1e6, 1..12)) {
+        let n = n.min(ws.len());
+        let map: BTreeMap<ServerId, f64> =
+            server_ids(n).into_iter().zip(ws).collect();
+        let t = shares::normalize_targets(&map);
+        prop_assert_eq!(t.values().sum::<u64>(), HALF_UNIT);
+    }
+
+    #[test]
+    fn rebalance_keeps_invariants(n in 2usize..10, ws in weights(10), seed in any::<u64>()) {
+        let servers = server_ids(n);
+        let mut m = PlacementMap::new(&servers, seed, 16).unwrap();
+        let w: BTreeMap<ServerId, f64> = servers
+            .iter()
+            .zip(&ws)
+            .map(|(&s, &v)| (s, v + 1e-6))
+            .collect();
+        m.rebalance(&w).unwrap();
+        prop_assert!(m.check_invariants().is_ok());
+        prop_assert_eq!(m.table().total_share(), HALF_UNIT);
+        // Shape: at most one partial per server.
+        for s in m.servers() {
+            let reg = m.table().regions_of(s).unwrap();
+            prop_assert!(reg.partial.is_none_or(|(_, l)| l > 0 && l < m.table().part_width()));
+        }
+    }
+
+    #[test]
+    fn rebalance_hits_targets_exactly(n in 2usize..8, ws in weights(8), seed in any::<u64>()) {
+        let servers = server_ids(n);
+        let mut m = PlacementMap::new(&servers, seed, 16).unwrap();
+        let w: BTreeMap<ServerId, f64> = servers
+            .iter()
+            .zip(&ws)
+            .map(|(&s, &v)| (s, v + 1e-6))
+            .collect();
+        m.rebalance(&w).unwrap();
+        let targets = shares::normalize_targets(&w);
+        prop_assert_eq!(m.table().shares(), targets);
+    }
+
+    #[test]
+    fn movement_bounded_by_changed_width(
+        n in 2usize..8,
+        ws in weights(8),
+        seed in any::<u64>(),
+    ) {
+        // Movement after a rescale only affects names whose probe path
+        // intersects changed segments; names probing only unchanged mapped
+        // regions keep their owner.
+        let servers = server_ids(n);
+        let mut m = PlacementMap::new(&servers, seed, 16).unwrap();
+        let all = names(400);
+        let before: Vec<ServerId> = all.iter().map(|x| m.locate(x)).collect();
+        let w: BTreeMap<ServerId, f64> = servers
+            .iter()
+            .zip(&ws)
+            .map(|(&s, &v)| (s, v + 0.05))
+            .collect();
+        let changes = m.rebalance(&w).unwrap();
+        for (name, &old) in all.iter().zip(&before) {
+            let new = m.locate(name);
+            if new != old {
+                // The probe path must intersect a changed segment.
+                let base = m.hasher().base(name);
+                let hit = (0..m.hasher().rounds()).any(|k| {
+                    let p = m.hasher().probe(base, k);
+                    changes.iter().any(|c| c.segment.contains(p))
+                });
+                prop_assert!(hit, "owner changed without probe-path change");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_moves_only_failed_sets(n in 3usize..9, seed in any::<u64>(), victim in 0u32..9) {
+        let servers = server_ids(n);
+        let victim = ServerId(victim % n as u32);
+        let mut m = PlacementMap::new(&servers, seed, 24).unwrap();
+        let all = names(600);
+        let before: BTreeMap<_, _> = all.iter().map(|x| (*x, m.locate(x))).collect();
+        m.remove_server(victim).unwrap();
+        prop_assert!(m.check_invariants().is_ok());
+        for name in &all {
+            let now = m.locate(name);
+            prop_assert_ne!(now, victim);
+            if before[name] != victim {
+                prop_assert_eq!(now, before[name], "third-party set moved on failure");
+            }
+        }
+    }
+
+    #[test]
+    fn repartition_moves_nothing(n in 1usize..9, ws in weights(9), seed in any::<u64>()) {
+        let servers = server_ids(n);
+        let mut m = PlacementMap::new(&servers, seed, 16).unwrap();
+        let w: BTreeMap<ServerId, f64> = servers
+            .iter()
+            .zip(&ws)
+            .map(|(&s, &v)| (s, v + 1e-3))
+            .collect();
+        m.rebalance(&w).unwrap();
+        let all = names(400);
+        let before: Vec<ServerId> = all.iter().map(|x| m.locate(x)).collect();
+        // Adding many servers forces repartitioning; instead test the
+        // table-level doubling directly through a clone.
+        let mut t = m.table().clone();
+        t.repartition_double().unwrap();
+        for (name, &old) in all.iter().zip(&before) {
+            let base = m.hasher().base(name);
+            for k in 0..m.hasher().rounds() {
+                let p = m.hasher().probe(base, k);
+                prop_assert_eq!(t.lookup(p), m.table().lookup(p));
+            }
+            let _ = old;
+        }
+    }
+
+    #[test]
+    fn locate_total_and_deterministic(n in 1usize..10, seed in any::<u64>()) {
+        let servers = server_ids(n);
+        let m = PlacementMap::new(&servers, seed, 8).unwrap();
+        for name in names(200) {
+            let a = m.locate(name);
+            prop_assert!(servers.contains(&a));
+            prop_assert_eq!(a, m.locate(name));
+        }
+    }
+
+    #[test]
+    fn churn_sequence_preserves_invariants(seed in any::<u64>(), ops in prop::collection::vec(0u8..3, 1..20)) {
+        // Random add/remove/rebalance churn never corrupts the table.
+        let mut m = PlacementMap::new(&server_ids(3), seed, 16).unwrap();
+        let mut next_id = 3u32;
+        let mut rng_state = seed;
+        for op in ops {
+            let n = m.num_servers();
+            match op {
+                0 => {
+                    m.add_server(ServerId(next_id)).unwrap();
+                    next_id += 1;
+                }
+                1 if n > 1 => {
+                    let victims = m.servers();
+                    rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let v = victims[(rng_state >> 33) as usize % victims.len()];
+                    m.remove_server(v).unwrap();
+                    // The ANU policy restores exact half occupancy at the
+                    // next tuning tick; mirror that here so dips from
+                    // repeated failures do not accumulate.
+                    m.restore_half_occupancy().unwrap();
+                }
+                _ => {
+                    let w: BTreeMap<ServerId, f64> = m
+                        .servers()
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| (s, 1.0 + i as f64))
+                        .collect();
+                    m.rebalance(&w).unwrap();
+                }
+            }
+            prop_assert!(m.check_invariants().is_ok(), "after op {op}: {:?}", m.check_invariants());
+        }
+    }
+
+    #[test]
+    fn equal_share_balance_beats_nothing(seed in any::<u64>()) {
+        // With equal shares, assignment counts concentrate near n/servers:
+        // sanity guard on hashing quality for arbitrary seeds.
+        let m = PlacementMap::new(&server_ids(4), seed, 32).unwrap();
+        let mut counts = BTreeMap::new();
+        for name in names(2000) {
+            *counts.entry(m.locate(name)).or_insert(0usize) += 1;
+        }
+        for &c in counts.values() {
+            prop_assert!(c > 250 && c < 850, "count {c} far from 500");
+        }
+    }
+}
+
+/// Pairwise-tuner properties: every gossip round conserves total share
+/// exactly (the decentralization invariant) and never produces negative
+/// or non-finite shares.
+mod pairwise_props {
+    use anu_core::{LoadReport, Matching, PairwiseTuner, ServerId, TuningConfig};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn gossip_conserves_share_sum(
+            seed in any::<u64>(),
+            lats in prop::collection::vec(0.0f64..1000.0, 2..12),
+            reqs in prop::collection::vec(0u64..500, 2..12),
+            hilo in any::<bool>(),
+        ) {
+            let n = lats.len().min(reqs.len());
+            let shares: BTreeMap<ServerId, f64> =
+                (0..n as u32).map(|i| (ServerId(i), 1.0 / n as f64)).collect();
+            let reports: Vec<LoadReport> = (0..n)
+                .map(|i| LoadReport {
+                    server: ServerId(i as u32),
+                    mean_latency_ms: lats[i],
+                    requests: reqs[i],
+                })
+                .collect();
+            let matching = if hilo { Matching::HiLo } else { Matching::Random };
+            let mut t = PairwiseTuner::new(TuningConfig::paper(), matching, seed);
+            for _ in 0..5 {
+                if let Some(next) = t.plan(&shares, &reports) {
+                    let before: f64 = shares.values().sum();
+                    let after: f64 = next.values().sum();
+                    prop_assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+                    prop_assert!(next.values().all(|v| v.is_finite() && *v >= 0.0));
+                }
+            }
+        }
+
+        #[test]
+        fn gossip_targets_feed_rebalance(
+            seed in any::<u64>(),
+            lats in prop::collection::vec(1.0f64..1000.0, 4..8),
+        ) {
+            // Round-trip: gossip targets must always be valid rebalance
+            // input (PlacementMap normalizes and applies them).
+            use anu_core::PlacementMap;
+            let n = lats.len();
+            let servers: Vec<ServerId> = (0..n as u32).map(ServerId).collect();
+            let mut map = PlacementMap::new(&servers, seed, 16).unwrap();
+            let mut t = PairwiseTuner::new(TuningConfig::paper(), Matching::HiLo, seed);
+            for round in 0..4 {
+                let reports: Vec<LoadReport> = (0..n)
+                    .map(|i| LoadReport {
+                        server: ServerId(i as u32),
+                        mean_latency_ms: lats[i] * (1.0 + round as f64 * 0.1),
+                        requests: 50,
+                    })
+                    .collect();
+                if let Some(targets) = t.plan(&map.share_fractions(), &reports) {
+                    map.rebalance(&targets).unwrap();
+                    prop_assert!(map.check_invariants().is_ok());
+                }
+            }
+        }
+    }
+}

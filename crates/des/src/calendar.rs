@@ -1,0 +1,255 @@
+//! The event calendar: a deterministic future-event list.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is
+//! assigned at scheduling time, so simultaneous events fire in the order
+//! they were scheduled — deterministic replay regardless of heap internals.
+//! Cancellation is supported through tombstones (the handle marks the entry
+//! dead; the heap lazily discards dead entries on pop), which is O(1) and
+//! keeps the hot path allocation-free.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::binary_heap::BinaryHeap;
+use std::collections::HashSet;
+
+/// Handle to a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event list of a simulation.
+///
+/// The calendar tracks the current simulated time: popping an event
+/// advances the clock to the event's timestamp. Scheduling in the past is a
+/// logic error and panics in debug builds (it silently clamps to `now` in
+/// release builds, which is always safe for causality).
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    /// Seqs scheduled and neither fired nor cancelled.
+    live: HashSet<u64>,
+    scheduled: u64,
+    fired: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            live: HashSet::new(),
+            scheduled: 0,
+            fired: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live events still pending.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is the calendar exhausted?
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Total events ever scheduled / fired (for reporting).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.scheduled, self.fired)
+    }
+
+    /// Schedule `payload` at absolute time `at`. Returns a cancel handle.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns whether the event was
+    /// still pending (false if it already fired or was cancelled). The heap
+    /// entry becomes a tombstone, lazily discarded on pop.
+    pub fn cancel(&mut self, h: EventHandle) -> bool {
+        self.live.remove(&h.0)
+    }
+
+    /// Pop the earliest live event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(e) = self.heap.pop() {
+            if !self.live.remove(&e.seq) {
+                continue; // tombstoned by a cancel
+            }
+            debug_assert!(e.time >= self.now);
+            self.now = e.time;
+            self.fired += 1;
+            return Some((e.time, e.payload));
+        }
+        None
+    }
+
+    /// Peek at the time of the earliest live event without popping.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(e) = self.heap.peek() {
+            if !self.live.contains(&e.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(e.time);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = Calendar::new();
+        c.schedule(SimTime(30), "c");
+        c.schedule(SimTime(10), "a");
+        c.schedule(SimTime(20), "b");
+        assert_eq!(c.pop(), Some((SimTime(10), "a")));
+        assert_eq!(c.now(), SimTime(10));
+        assert_eq!(c.pop(), Some((SimTime(20), "b")));
+        assert_eq!(c.pop(), Some((SimTime(30), "c")));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut c = Calendar::new();
+        for i in 0..100 {
+            c.schedule(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(c.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut c = Calendar::new();
+        let h = c.schedule(SimTime(10), "dead");
+        c.schedule(SimTime(20), "alive");
+        assert!(c.cancel(h));
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.pop(), Some((SimTime(20), "alive")));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn cancel_invalid_handle() {
+        let mut c: Calendar<()> = Calendar::new();
+        assert!(!c.cancel(EventHandle(99)));
+    }
+
+    #[test]
+    fn cancel_fired_handle_is_noop() {
+        let mut c = Calendar::new();
+        let h = c.schedule(SimTime(1), ());
+        c.pop();
+        assert!(!c.cancel(h));
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut c = Calendar::new();
+        let h = c.schedule(SimTime(1), ());
+        assert!(c.cancel(h));
+        assert!(!c.cancel(h));
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut c = Calendar::new();
+        let h = c.schedule(SimTime(10), 1);
+        c.schedule(SimTime(20), 2);
+        c.cancel(h);
+        assert_eq!(c.peek_time(), Some(SimTime(20)));
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut c = Calendar::new();
+        c.schedule(SimTime(1), ());
+        c.schedule(SimTime(2), ());
+        c.pop();
+        assert_eq!(c.counters(), (2, 1));
+    }
+
+    #[test]
+    fn is_empty_accounts_for_dead() {
+        let mut c = Calendar::new();
+        let h = c.schedule(SimTime(1), ());
+        assert!(!c.is_empty());
+        c.cancel(h);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut c = Calendar::new();
+        c.schedule(SimTime(10), ());
+        c.pop();
+        c.schedule(SimTime(5), ());
+    }
+}

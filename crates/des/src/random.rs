@@ -1,0 +1,241 @@
+//! Seeded random streams and the distributions the workloads need.
+//!
+//! Every stochastic component of a simulation draws from its own
+//! [`RngStream`], seeded deterministically from an experiment seed plus a
+//! stream label, so adding a new random component never perturbs the draws
+//! of existing ones (common random numbers across policy comparisons).
+//!
+//! Samplers for the exponential, Zipf, Pareto and discrete distributions
+//! are implemented on top of plain `rand` uniforms — no extra dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Clone, Debug)]
+pub struct RngStream {
+    rng: StdRng,
+}
+
+impl RngStream {
+    /// Create a stream from an experiment seed and a stream label. The
+    /// label keeps streams independent: `(seed, "arrivals")` and
+    /// `(seed, "costs")` never share draws.
+    pub fn new(seed: u64, label: &str) -> Self {
+        // Mix the label into the seed with FNV-1a, then expand to 32 bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+        for &b in label.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut bytes = [0u8; 32];
+        let mut state = h;
+        for chunk in bytes.chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            chunk.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        RngStream {
+            rng: StdRng::from_seed(bytes),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// Raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`), via inverse
+    /// transform. Used for Poisson-process inter-arrival gaps.
+    #[inline]
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        // 1 - U in (0, 1] avoids ln(0).
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// Bounded Pareto draw on `[lo, hi]` with shape `alpha` (heavy tails
+    /// for burst magnitudes).
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+        let u = self.uniform();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * (ha - la) - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Sample an index from a discrete distribution given its cumulative
+    /// weights (strictly increasing, last element = total). `O(log n)`.
+    pub fn discrete_cdf(&mut self, cumulative: &[f64]) -> usize {
+        debug_assert!(!cumulative.is_empty());
+        let total = *cumulative.last().expect("non-empty");
+        debug_assert!(total > 0.0);
+        let x = self.uniform() * total;
+        cumulative
+            .partition_point(|&c| c <= x)
+            .min(cumulative.len() - 1)
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Precomputed Zipf(s) sampler over ranks `1..=n`: rank `k` has weight
+/// `k^-s`. Used to skew per-file-set popularity.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        assert!(s >= 0.0 && s.is_finite());
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (0-based; rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut RngStream) -> usize {
+        rng.discrete_cdf(&self.cdf)
+    }
+
+    /// The probability of rank `k` (0-based).
+    pub fn prob(&self, k: usize) -> f64 {
+        let total = *self.cdf.last().expect("non-empty");
+        let prev = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        (self.cdf[k] - prev) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = RngStream::new(7, "x");
+        let mut b = RngStream::new(7, "x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn labels_separate_streams() {
+        let mut a = RngStream::new(7, "arrivals");
+        let mut b = RngStream::new(7, "costs");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = RngStream::new(1, "u");
+        for _ in 0..1000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.uniform_range(5.0, 6.0);
+            assert!((5.0..6.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = RngStream::new(2, "e");
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_in_bounds() {
+        let mut r = RngStream::new(3, "p");
+        for _ in 0..2000 {
+            let x = r.bounded_pareto(1.5, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn discrete_cdf_respects_weights() {
+        let mut r = RngStream::new(4, "d");
+        let cdf = [1.0, 1.5, 4.0]; // weights 1.0, 0.5, 2.5
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.discrete_cdf(&cdf)] += 1;
+        }
+        let f0 = counts[0] as f64 / 40_000.0;
+        let f2 = counts[2] as f64 / 40_000.0;
+        assert!((f0 - 0.25).abs() < 0.02, "{f0}");
+        assert!((f2 - 0.625).abs() < 0.02, "{f2}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = RngStream::new(5, "z");
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[99]);
+        // Harmonic(100) ~ 5.187; p(0) ~ 0.1928.
+        let f0 = counts[0] as f64 / 50_000.0;
+        assert!((f0 - 0.1928).abs() < 0.02, "{f0}");
+        assert!((z.prob(0) - 0.1928).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.prob(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = RngStream::new(6, "s");
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,194 @@
+//! Model-based property tests for the DES kernel.
+//!
+//! The calendar is checked against a naive sorted-vector model under random
+//! schedule/cancel interleavings; the FIFO station against a hand-rolled
+//! queue simulation; the statistics against exact recomputation.
+
+use anu_des::{Calendar, FifoStation, Job, OnlineStats, SimDuration, SimTime, StartService};
+use proptest::prelude::*;
+
+/// Operations for the calendar model test.
+#[derive(Clone, Debug)]
+enum CalOp {
+    /// Schedule at now + delta.
+    Schedule(u64),
+    /// Cancel the k-th handle issued so far (if any).
+    Cancel(usize),
+    /// Pop one event.
+    Pop,
+}
+
+fn calop() -> impl Strategy<Value = CalOp> {
+    prop_oneof![
+        (0u64..1000).prop_map(CalOp::Schedule),
+        (0usize..64).prop_map(CalOp::Cancel),
+        Just(CalOp::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn calendar_matches_sorted_model(ops in prop::collection::vec(calop(), 1..120)) {
+        let mut cal: Calendar<u64> = Calendar::new();
+        // Model: (time, seq, payload, alive).
+        let mut model: Vec<(SimTime, u64, u64, bool)> = Vec::new();
+        let mut handles = Vec::new();
+        let mut seq = 0u64;
+        let mut now = SimTime::ZERO;
+
+        for op in ops {
+            match op {
+                CalOp::Schedule(dt) => {
+                    let at = now + SimDuration(dt);
+                    let h = cal.schedule(at, seq);
+                    handles.push(h);
+                    model.push((at, seq, seq, true));
+                    seq += 1;
+                }
+                CalOp::Cancel(k) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let k = k % handles.len();
+                    let got = cal.cancel(handles[k]);
+                    // Model cancel: alive entry with matching seq.
+                    let want = model
+                        .iter_mut()
+                        .find(|e| e.1 == k as u64 && e.3)
+                        .map(|e| {
+                            e.3 = false;
+                            true
+                        })
+                        .unwrap_or(false);
+                    prop_assert_eq!(got, want);
+                }
+                CalOp::Pop => {
+                    let got = cal.pop();
+                    // Model pop: earliest alive (time, seq).
+                    let idx = model
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.3)
+                        .min_by_key(|(_, e)| (e.0, e.1))
+                        .map(|(i, _)| i);
+                    match idx {
+                        Some(i) => {
+                            let e = model[i];
+                            model[i].3 = false;
+                            prop_assert_eq!(got, Some((e.0, e.2)));
+                            now = e.0;
+                        }
+                        None => prop_assert_eq!(got, None),
+                    }
+                }
+            }
+            prop_assert_eq!(cal.pending(), model.iter().filter(|e| e.3).count());
+        }
+    }
+
+    #[test]
+    fn station_matches_reference_queue(
+        jobs in prop::collection::vec((1u64..100, 1u64..50), 1..40)
+    ) {
+        // Arrivals at strictly increasing times with given gaps; compare
+        // against an exact single-server FIFO recurrence:
+        //   start_i = max(arrival_i, completion_{i-1}), completion = start + service.
+        let mut st: FifoStation<usize> = FifoStation::new();
+        let cal: Calendar<()> = Calendar::new();
+
+        let mut t = 0u64;
+        let mut arrivals = Vec::new();
+        for &(gap, service) in &jobs {
+            t += gap;
+            arrivals.push((SimTime(t), SimDuration(service)));
+        }
+
+        // Expected completions by the recurrence.
+        let mut expect = Vec::new();
+        let mut prev_done = 0u64;
+        for &(a, s) in &arrivals {
+            let start = a.0.max(prev_done);
+            prev_done = start + s.0;
+            expect.push(prev_done);
+        }
+
+        // Drive the station through a two-event-type loop.
+        #[derive(Clone, Copy)]
+        enum Ev { Arrive(usize), Done }
+        let mut ev_cal: Calendar<Ev> = Calendar::new();
+        for (i, &(a, _)) in arrivals.iter().enumerate() {
+            ev_cal.schedule(a, Ev::Arrive(i));
+        }
+        let mut completions = Vec::new();
+        while let Some((nowt, ev)) = ev_cal.pop() {
+            match ev {
+                Ev::Arrive(i) => {
+                    let (a, s) = arrivals[i];
+                    if let StartService::At(done) = st.arrive(nowt, Job { arrival: a, service: s, meta: i }) {
+                        ev_cal.schedule(done, Ev::Done);
+                    }
+                }
+                Ev::Done => {
+                    let (job, next) = st.complete(nowt);
+                    completions.push((job.meta, nowt.0));
+                    if let Some(d) = next {
+                        ev_cal.schedule(d, Ev::Done);
+                    }
+                }
+            }
+        }
+        let _ = cal;
+        prop_assert_eq!(completions.len(), jobs.len());
+        // FIFO: completions in arrival order with recurrence times.
+        for (k, &(meta, done)) in completions.iter().enumerate() {
+            prop_assert_eq!(meta, k);
+            prop_assert_eq!(done, expect[k], "job {}", k);
+        }
+    }
+
+    #[test]
+    fn online_stats_match_exact(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * var.max(1.0));
+        let mx = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let mn = xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert_eq!(s.max(), Some(mx));
+        prop_assert_eq!(s.min(), Some(mn));
+    }
+
+    #[test]
+    fn station_utilization_bounded(jobs in prop::collection::vec((1u64..100, 1u64..50), 1..30)) {
+        let mut st: FifoStation<u32> = FifoStation::new();
+        let mut t = SimTime::ZERO;
+        let mut done_events: Vec<SimTime> = Vec::new();
+        for (i, &(gap, service)) in jobs.iter().enumerate() {
+            t += SimDuration(gap);
+            // Drain any completions due before this arrival.
+            while let Some(&d) = done_events.first() {
+                if d <= t {
+                    done_events.remove(0);
+                    let (_, next) = st.complete(d);
+                    if let Some(nd) = next {
+                        done_events.push(nd);
+                    }
+                } else {
+                    break;
+                }
+            }
+            if let StartService::At(d) = st.arrive(t, Job { arrival: t, service: SimDuration(service), meta: i as u32 }) {
+                done_events.push(d);
+            }
+        }
+        let u = st.utilization(t);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+}

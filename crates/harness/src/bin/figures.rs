@@ -1,0 +1,160 @@
+//! Regenerate every evaluation figure of the paper.
+//!
+//! ```text
+//! figures [--fig N] [--seed S] [--out DIR] [--series]
+//! ```
+//!
+//! For each figure: runs all its policies, writes per-policy CSV series to
+//! `--out` (default `out/`), prints the cross-policy summary table and the
+//! qualitative shape-check verdicts. `--series` additionally prints the
+//! full minute-by-minute latency table (the raw figure data).
+
+use anu_harness::{
+    check_closeup, check_decomposition, check_four_policy, check_overtuning, fig10, fig11, fig6,
+    fig7, fig8, fig9, series_table, sparklines, summary_table, write_figure_csvs, Experiment,
+    ShapeCheck, DEFAULT_SEED,
+};
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Args {
+    fig: Option<u32>,
+    seed: u64,
+    out: PathBuf,
+    series: bool,
+    plot: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fig: None,
+        seed: DEFAULT_SEED,
+        out: PathBuf::from("out"),
+        series: false,
+        plot: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fig" => {
+                args.fig = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--fig needs a figure number 6..=11"),
+                )
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer")
+            }
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
+            "--series" => args.series = true,
+            "--plot" => args.plot = true,
+            "--help" | "-h" => {
+                println!("usage: figures [--fig N] [--seed S] [--out DIR] [--series] [--plot]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn print_checks(checks: &[ShapeCheck]) {
+    let mut out = std::io::stdout().lock();
+    for c in checks {
+        writeln!(
+            out,
+            "  [{}] {}\n        measured: {}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.claim,
+            c.measured
+        )
+        .unwrap();
+    }
+}
+
+fn run_figure(n: u32, args: &Args) -> bool {
+    let exp: Experiment = match n {
+        6 => fig6(args.seed),
+        7 => fig7(args.seed),
+        8 => fig8(args.seed),
+        9 => fig9(args.seed),
+        10 => fig10(args.seed),
+        11 => fig11(args.seed),
+        _ => {
+            eprintln!("no figure {n}; the evaluation figures are 6..=11");
+            std::process::exit(2);
+        }
+    };
+    let stats = exp.workload.stats();
+    println!(
+        "\n=== Figure {n} ({}) — {} requests, {} file sets, {:.0} s, {} policies ===",
+        exp.name,
+        stats.total_requests,
+        exp.workload.n_file_sets,
+        stats.duration_secs,
+        exp.policies.len()
+    );
+    let results = exp.run_all();
+    println!("{}", summary_table(&results));
+    if args.series {
+        for r in &results {
+            println!("{}", series_table(r));
+        }
+    }
+    if args.plot {
+        for r in &results {
+            println!("{}", sparklines(r));
+        }
+    }
+    let paths = write_figure_csvs(&exp.name, &results, &args.out).expect("write CSVs");
+    println!(
+        "  wrote {} CSV series to {}",
+        paths.len(),
+        args.out.display()
+    );
+
+    let tick_buckets = (exp.cluster.tick.0 / exp.cluster.series_bucket.0).max(1) as usize;
+    let checks = match n {
+        6 | 8 => check_four_policy(&results),
+        7 | 9 => check_closeup(&results, tick_buckets),
+        10 => check_overtuning(&results),
+        11 => {
+            // Figure 11 compares against the no-heuristics run of Fig 10a.
+            let plain = fig10(args.seed)
+                .run_one("anu-no-heuristics")
+                .expect("plain ANU run");
+            check_decomposition(&plain, &results)
+        }
+        _ => unreachable!(),
+    };
+    print_checks(&checks);
+    checks.iter().all(|c| c.pass)
+}
+
+fn main() {
+    let args = parse_args();
+    let figures: Vec<u32> = match args.fig {
+        Some(n) => vec![n],
+        None => vec![6, 7, 8, 9, 10, 11],
+    };
+    let mut all_pass = true;
+    for n in figures {
+        all_pass &= run_figure(n, &args);
+    }
+    println!(
+        "\noverall: {}",
+        if all_pass {
+            "all shape checks PASS"
+        } else {
+            "some shape checks FAILED"
+        }
+    );
+    std::process::exit(if all_pass { 0 } else { 1 });
+}

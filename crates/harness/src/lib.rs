@@ -1,0 +1,28 @@
+//! # anu-harness — regenerating the paper's evaluation
+//!
+//! Everything needed to reproduce Figures 6–11 of the SC'03 evaluation:
+//!
+//! * [`experiment`] — workload + cluster + policies bundles, run in
+//!   parallel with deterministic results;
+//! * [`figures`] — one constructor per figure and the qualitative *shape
+//!   checks* each figure makes (who wins, what converges, what
+//!   oscillates);
+//! * [`report`] — text tables and CSV emission.
+//!
+//! Binaries: `figures` regenerates every figure's series and prints the
+//! shape-check verdicts; `sweep` runs the ablation studies (average kind,
+//! threshold, gamma, homogeneous balance, membership churn).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use experiment::{Experiment, PolicyKind, PrescientWindow};
+pub use figures::{
+    all_figures, check_closeup, check_decomposition, check_four_policy, check_overtuning, fig10,
+    fig11, fig6, fig7, fig8, fig9, reduced, ShapeCheck, DEFAULT_SEED,
+};
+pub use report::{series_table, sparklines, summary_table, write_figure_csvs, write_series_csv};

@@ -1,0 +1,194 @@
+//! Reporting: figure series as text tables and CSV files.
+
+use anu_cluster::{late_imbalance, late_mean, RunResult};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Render one run's per-server latency series as the rows the paper's
+/// figures plot: `minute  s0 s1 …` (mean latency per minute bucket, ms).
+pub fn series_table(result: &RunResult) -> String {
+    let mut out = String::new();
+    let servers: Vec<_> = result.series.keys().copied().collect();
+    write!(out, "# {} on {}\nmin", result.policy, result.workload).unwrap();
+    for s in &servers {
+        write!(out, " {s:>9}").unwrap();
+    }
+    out.push('\n');
+    let n = result
+        .series
+        .values()
+        .map(|ts| ts.buckets().len())
+        .max()
+        .unwrap_or(0);
+    for i in 0..n {
+        write!(out, "{i:>3}").unwrap();
+        for s in &servers {
+            let b = &result.series[s].buckets()[i];
+            write!(out, " {:>9.1}", b.mean()).unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a cross-policy summary table for one figure.
+pub fn summary_table(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "policy", "mean ms", "late ms", "max ms", "imb CoV", "moves"
+    )
+    .unwrap();
+    for r in results {
+        writeln!(
+            out,
+            "{:<22} {:>10.1} {:>10.1} {:>10.1} {:>10.2} {:>7}",
+            r.policy,
+            r.summary.mean_latency_ms,
+            late_mean(&r.series),
+            r.summary.max_latency_ms,
+            late_imbalance(&r.series),
+            r.summary.migrations
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render one run's per-server series as ASCII sparkline rows — a quick
+/// visual of the figure without leaving the terminal:
+///
+/// ```text
+/// s0 ▂▄█▇▅▁▁▁▁▁▁▁  (peak 412.3 ms)
+/// s1 ▁▁▂▃▃▃▃▂▂▂▂▂  (peak  80.1 ms)
+/// ```
+///
+/// Each server row is scaled to its own peak (the shapes matter more than
+/// cross-server magnitude, which the summary table already reports).
+pub fn sparklines(result: &RunResult) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = String::new();
+    writeln!(out, "# {} on {}", result.policy, result.workload).unwrap();
+    for (s, ts) in &result.series {
+        let means: Vec<f64> = ts.means().map(|(_, m)| m).collect();
+        let peak = means.iter().cloned().fold(0.0f64, f64::max);
+        write!(out, "{s:>4} ").unwrap();
+        for m in &means {
+            let idx = if peak <= 0.0 {
+                0
+            } else {
+                ((m / peak) * (RAMP.len() - 1) as f64).round() as usize
+            };
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+        writeln!(out, "  (peak {peak:.1} ms)").unwrap();
+    }
+    out
+}
+
+/// Write one run's series as CSV: `minute,server,mean_latency_ms`.
+pub fn write_series_csv(result: &RunResult, path: &Path) -> io::Result<()> {
+    use std::io::Write;
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "minute,server,mean_latency_ms,requests")?;
+    for (s, ts) in &result.series {
+        for (i, b) in ts.buckets().iter().enumerate() {
+            writeln!(f, "{},{},{:.3},{}", i, s.0, b.mean(), b.count)?;
+        }
+    }
+    f.flush()
+}
+
+/// Write every result of a figure into `dir` as
+/// `<figure>_<policy>.csv`, returning the written paths.
+pub fn write_figure_csvs(
+    figure: &str,
+    results: &[RunResult],
+    dir: &Path,
+) -> io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for r in results {
+        let safe: String = r
+            .policy
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let p = dir.join(format!("{figure}_{safe}.csv"));
+        write_series_csv(r, &p)?;
+        paths.push(p);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, PolicyKind};
+    use anu_cluster::ClusterConfig;
+    use anu_workload::{CostModel, SyntheticConfig, WeightDist};
+
+    fn quick_result() -> Vec<RunResult> {
+        Experiment {
+            name: "t".into(),
+            cluster: ClusterConfig::paper(),
+            workload: SyntheticConfig {
+                n_file_sets: 10,
+                total_requests: 500,
+                duration_secs: 200.0,
+                weights: WeightDist::Constant,
+                mean_cost_secs: 0.05,
+                cost: CostModel::Deterministic,
+                seed: 5,
+            }
+            .generate(),
+            policies: vec![("rr".into(), PolicyKind::RoundRobin)],
+            seed: 5,
+        }
+        .run_all()
+    }
+
+    #[test]
+    fn series_table_has_all_buckets() {
+        let rs = quick_result();
+        let t = series_table(&rs[0]);
+        // 200 s / 60 s buckets = 4 rows + 2 header lines.
+        let rows = t.lines().count();
+        assert!(rows >= 6, "{t}");
+        assert!(t.contains("s0"));
+    }
+
+    #[test]
+    fn summary_table_mentions_policy() {
+        let rs = quick_result();
+        let t = summary_table(&rs);
+        assert!(t.contains("rr"));
+        assert!(t.contains("mean ms"));
+    }
+
+    #[test]
+    fn sparklines_render_every_server() {
+        let rs = quick_result();
+        let s = sparklines(&rs[0]);
+        assert_eq!(s.lines().count(), 6); // header + 5 servers
+        assert!(s.contains("s0") && s.contains("s4"));
+        assert!(s.contains("peak"));
+        // Only ramp characters between the label and the peak annotation.
+        let row = s.lines().nth(1).unwrap();
+        assert!(row.chars().any(|c| "▁▂▃▄▅▆▇█".contains(c)));
+    }
+
+    #[test]
+    fn csv_files_written() {
+        let rs = quick_result();
+        let dir = std::env::temp_dir().join("anu_report_test");
+        let paths = write_figure_csvs("figX", &rs, &dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        let content = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(content.starts_with("minute,server"));
+        assert!(content.lines().count() > 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

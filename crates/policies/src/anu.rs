@@ -1,0 +1,305 @@
+//! ANU randomization as a cluster placement policy.
+//!
+//! Wraps the [`anu_core`] placement map and tuner in the
+//! [`PlacementPolicy`] interface:
+//!
+//! * **initial** — equal mapped regions (no a-priori knowledge), file sets
+//!   located by hashing their unique names;
+//! * **on_tick** — the delegate tunes region sizes from latency reports,
+//!   the map is rebalanced, and the moves are the located differences;
+//! * **on_fail** — exact takeover removal: only the failed server's file
+//!   sets re-hash (cache preservation);
+//! * **on_recover** — the server re-enters at a free partition with the
+//!   average share and everyone else scales back.
+//!
+//! Note what's absent: server speeds and per-set demands never enter this
+//! type. Everything the policy learns, it learns from latency reports.
+
+use crate::assign::diff_moves;
+use anu_cluster::{Assignment, ClusterView, MoveSet, PlacementPolicy};
+use anu_core::{
+    AnuConfig, FileSetId, LoadReport, Matching, PairwiseTuner, PlacementMap, ServerId,
+    SharePlanner, Tuner,
+};
+use std::collections::BTreeMap;
+
+/// The ANU randomization policy.
+///
+/// Generic over the share planner: the centralized delegate ([`Tuner`],
+/// the paper's algorithm) or the decentralized [`PairwiseTuner`] (the
+/// paper's §5 future-work design) — construct via [`AnuPolicy::new`] or
+/// [`AnuPolicy::decentralized`] respectively.
+pub struct AnuPolicy {
+    cfg: AnuConfig,
+    map: Option<PlacementMap>,
+    planner: Box<dyn SharePlanner>,
+    /// Periodically drop planner state, simulating delegate failovers
+    /// (`None` = never).
+    delegate_crash_every: Option<u64>,
+    file_sets: Vec<FileSetId>,
+    /// Cumulative statistics for analysis.
+    ticks_with_moves: u64,
+    ticks_total: u64,
+}
+
+impl AnuPolicy {
+    /// Create from a configuration (seed, rounds, tuning knobs), with the
+    /// paper's centralized delegate tuner.
+    pub fn new(cfg: AnuConfig) -> Self {
+        AnuPolicy {
+            cfg,
+            map: None,
+            planner: Box::new(Tuner::new(cfg.tuning)),
+            delegate_crash_every: None,
+            file_sets: Vec::new(),
+            ticks_with_moves: 0,
+            ticks_total: 0,
+        }
+    }
+
+    /// Create with the decentralized pairwise planner (§5 extension).
+    pub fn decentralized(cfg: AnuConfig, matching: Matching) -> Self {
+        AnuPolicy {
+            planner: Box::new(PairwiseTuner::new(cfg.tuning, matching, cfg.seed)),
+            ..AnuPolicy::new(cfg)
+        }
+    }
+
+    /// With the default (paper) configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        AnuPolicy::new(AnuConfig {
+            seed,
+            ..AnuConfig::default()
+        })
+    }
+
+    /// Simulate a delegate crash every `n` ticks: the planner's
+    /// cross-interval state is dropped before the n-th, 2n-th, … tick.
+    /// Exercises the paper's statelessness claim — "if the delegate fails,
+    /// the next elected delegate runs the same protocol with the same
+    /// information".
+    pub fn with_delegate_crashes(mut self, every_n_ticks: u64) -> Self {
+        assert!(every_n_ticks > 0);
+        self.delegate_crash_every = Some(every_n_ticks);
+        self
+    }
+
+    /// Access the live placement map (None before `initial`).
+    pub fn map(&self) -> Option<&PlacementMap> {
+        self.map.as_ref()
+    }
+
+    /// `(ticks that produced moves, total ticks)` — convergence diagnostic.
+    pub fn tick_stats(&self) -> (u64, u64) {
+        (self.ticks_with_moves, self.ticks_total)
+    }
+
+    /// Simulate a delegate failover: the next divergent-tuning decision has
+    /// no previous-interval state to compare against.
+    pub fn delegate_failover(&mut self) {
+        self.planner.forget();
+    }
+
+    fn target_assignment(
+        map: &PlacementMap,
+        file_sets: &[FileSetId],
+    ) -> BTreeMap<FileSetId, ServerId> {
+        file_sets
+            .iter()
+            .map(|&fs| (fs, map.locate(fs.name_bytes())))
+            .collect()
+    }
+}
+
+impl PlacementPolicy for AnuPolicy {
+    fn name(&self) -> &str {
+        "anu-randomization"
+    }
+
+    fn initial(&mut self, view: &ClusterView, file_sets: &[FileSetId]) -> Assignment {
+        let alive = view.alive();
+        let map = PlacementMap::new(&alive, self.cfg.seed, self.cfg.rounds)
+            .expect("at least one alive server");
+        self.file_sets = file_sets.to_vec();
+        let assignment = Self::target_assignment(&map, file_sets);
+        self.map = Some(map);
+        assignment
+    }
+
+    fn on_tick(
+        &mut self,
+        _view: &ClusterView,
+        reports: &[LoadReport],
+        assignment: &Assignment,
+    ) -> Vec<MoveSet> {
+        self.ticks_total += 1;
+        if let Some(every) = self.delegate_crash_every {
+            if self.ticks_total.is_multiple_of(every) {
+                self.planner.forget();
+            }
+        }
+        let map = self.map.as_mut().expect("initial ran");
+        // Failures may have left occupancy below half; restore before
+        // tuning so the tuner sees a normalized configuration.
+        map.restore_half_occupancy().expect("restore succeeds");
+        let shares = map.share_fractions();
+        let Some(targets) = self.planner.plan_shares(&shares, reports) else {
+            return Vec::new(); // balanced within the heuristics' tolerance
+        };
+        map.rebalance(&targets).expect("valid targets");
+        let target = Self::target_assignment(map, &self.file_sets);
+        let moves = diff_moves(assignment, &target);
+        if !moves.is_empty() {
+            self.ticks_with_moves += 1;
+        }
+        moves
+    }
+
+    fn on_fail(
+        &mut self,
+        _view: &ClusterView,
+        failed: ServerId,
+        assignment: &Assignment,
+    ) -> Vec<MoveSet> {
+        let map = self.map.as_mut().expect("initial ran");
+        map.remove_server(failed).expect("failed server was mapped");
+        let target = Self::target_assignment(map, &self.file_sets);
+        diff_moves(assignment, &target)
+    }
+
+    fn on_recover(
+        &mut self,
+        _view: &ClusterView,
+        recovered: ServerId,
+        assignment: &Assignment,
+    ) -> Vec<MoveSet> {
+        let map = self.map.as_mut().expect("initial ran");
+        map.add_server(recovered).expect("server was absent");
+        let target = Self::target_assignment(map, &self.file_sets);
+        diff_moves(assignment, &target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anu_des::SimTime;
+
+    fn view(n: u32) -> ClusterView {
+        ClusterView {
+            servers: (0..n).map(|i| (ServerId(i), true)).collect(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn sets(n: u64) -> Vec<FileSetId> {
+        (0..n).map(FileSetId).collect()
+    }
+
+    fn reports(lats: &[(u32, f64, u64)]) -> Vec<LoadReport> {
+        lats.iter()
+            .map(|&(s, l, r)| LoadReport {
+                server: ServerId(s),
+                mean_latency_ms: l,
+                requests: r,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_assignment_covers_all() {
+        let mut p = AnuPolicy::with_seed(1);
+        let a = p.initial(&view(5), &sets(200));
+        assert_eq!(a.len(), 200);
+        let distinct: std::collections::BTreeSet<_> = a.values().collect();
+        assert_eq!(distinct.len(), 5, "all servers used");
+    }
+
+    #[test]
+    fn overloaded_server_sheds_on_tick() {
+        let mut p = AnuPolicy::with_seed(2);
+        let a = p.initial(&view(5), &sets(200));
+        let before = a.values().filter(|&&s| s == ServerId(0)).count();
+        let moves = p.on_tick(
+            &view(5),
+            &reports(&[
+                (0, 900.0, 100),
+                (1, 50.0, 100),
+                (2, 50.0, 100),
+                (3, 50.0, 100),
+                (4, 50.0, 100),
+            ]),
+            &a,
+        );
+        assert!(!moves.is_empty(), "overload must trigger moves");
+        let away = moves.iter().filter(|m| a[&m.set] == ServerId(0)).count();
+        assert!(away > 0, "server 0 sheds");
+        assert!(away <= before);
+        assert!(moves.iter().all(|m| m.to != ServerId(0)));
+    }
+
+    #[test]
+    fn balanced_reports_produce_no_moves() {
+        let mut p = AnuPolicy::with_seed(3);
+        let a = p.initial(&view(5), &sets(100));
+        let moves = p.on_tick(
+            &view(5),
+            &reports(&[
+                (0, 100.0, 50),
+                (1, 101.0, 50),
+                (2, 99.0, 50),
+                (3, 100.0, 50),
+                (4, 100.0, 50),
+            ]),
+            &a,
+        );
+        assert!(moves.is_empty());
+        assert_eq!(p.tick_stats(), (0, 1));
+    }
+
+    #[test]
+    fn failure_moves_only_failed_sets() {
+        let mut p = AnuPolicy::with_seed(4);
+        let a = p.initial(&view(5), &sets(300));
+        let mut v = view(5);
+        v.servers[2].1 = false;
+        let moves = p.on_fail(&v, ServerId(2), &a);
+        // Exactly the orphans move (the exact-takeover property).
+        let orphans: Vec<_> = a
+            .iter()
+            .filter(|&(_, &s)| s == ServerId(2))
+            .map(|(&f, _)| f)
+            .collect();
+        assert_eq!(moves.len(), orphans.len());
+        for m in &moves {
+            assert!(orphans.contains(&m.set));
+            assert_ne!(m.to, ServerId(2));
+        }
+    }
+
+    #[test]
+    fn recovery_pulls_back_share() {
+        let mut p = AnuPolicy::with_seed(5);
+        let a = p.initial(&view(4), &sets(400));
+        let mut v = view(4);
+        v.servers[1].1 = false;
+        let mut cur = a.clone();
+        for m in p.on_fail(&v, ServerId(1), &a) {
+            cur.insert(m.set, m.to);
+        }
+        v.servers[1].1 = true;
+        let moves = p.on_recover(&v, ServerId(1), &cur);
+        assert!(!moves.is_empty());
+        // The recovered server takes a free partition and everyone scales
+        // back; most movement flows to the newcomer, but shed sets re-hash
+        // and a minority may land on other survivors (paper §4 semantics).
+        let to_recovered = moves.iter().filter(|m| m.to == ServerId(1)).count();
+        assert!(
+            to_recovered * 2 > moves.len(),
+            "majority of recovery moves go to the recovered server: {to_recovered}/{}",
+            moves.len()
+        );
+        let frac = moves.len() as f64 / 400.0;
+        assert!(frac < 0.5, "recovery moved {frac:.2} of all sets");
+    }
+}

@@ -1,0 +1,49 @@
+//! Assignment diffing shared by all policies.
+
+use anu_cluster::{Assignment, MoveSet};
+use anu_core::{FileSetId, ServerId};
+use std::collections::BTreeMap;
+
+/// Compute the moves turning `current` into `target`. Sets missing from
+/// `current` (e.g. orphaned by a failure and already unassigned) are moved
+/// unconditionally; sets missing from `target` are left alone.
+pub fn diff_moves(current: &Assignment, target: &BTreeMap<FileSetId, ServerId>) -> Vec<MoveSet> {
+    target
+        .iter()
+        .filter(|(fs, &to)| current.get(fs) != Some(&to))
+        .map(|(&set, &to)| MoveSet { set, to })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_finds_changes_only() {
+        let mut cur = Assignment::new();
+        cur.insert(FileSetId(0), ServerId(0));
+        cur.insert(FileSetId(1), ServerId(1));
+        let mut tgt = BTreeMap::new();
+        tgt.insert(FileSetId(0), ServerId(0)); // unchanged
+        tgt.insert(FileSetId(1), ServerId(2)); // moved
+        tgt.insert(FileSetId(2), ServerId(0)); // new
+        let mv = diff_moves(&cur, &tgt);
+        assert_eq!(mv.len(), 2);
+        assert!(mv.contains(&MoveSet {
+            set: FileSetId(1),
+            to: ServerId(2)
+        }));
+        assert!(mv.contains(&MoveSet {
+            set: FileSetId(2),
+            to: ServerId(0)
+        }));
+    }
+
+    #[test]
+    fn empty_diff() {
+        let cur = Assignment::new();
+        let tgt = BTreeMap::new();
+        assert!(diff_moves(&cur, &tgt).is_empty());
+    }
+}

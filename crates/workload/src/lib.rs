@@ -1,0 +1,53 @@
+//! # anu-workload — metadata workload generation
+//!
+//! Workloads for the shared-disk metadata cluster simulation, matching the
+//! two workload families of the paper's evaluation (§7):
+//!
+//! * [`synthetic`] — the synthetic workload: 100,000 Poisson requests
+//!   against 500 file sets over 10,000 s with extreme, stable per-file-set
+//!   heterogeneity (`alpha^x` weights);
+//! * [`dfslike`] — a DFSTrace-like one-hour trace: 21 file sets, 112,590
+//!   requests, >100x activity spread, bursts concentrated in the most
+//!   active file sets (a documented substitution for the original
+//!   DFSTrace data — see DESIGN.md);
+//! * [`weights`] — the per-file-set weight distributions;
+//! * [`ops`] — metadata operation mixes (lookup/stat/open/…);
+//! * [`trace`] — CSV/JSON persistence for replayable traces;
+//! * [`request`] — the common representation and the prescient oracle
+//!   ([`Workload::window_demands`]).
+
+//! ```
+//! use anu_workload::{CostModel, SyntheticConfig, WeightDist};
+//!
+//! // A small paper-style synthetic workload, exactly 1000 requests.
+//! let w = SyntheticConfig {
+//!     n_file_sets: 20,
+//!     total_requests: 1_000,
+//!     duration_secs: 100.0,
+//!     weights: WeightDist::PowerOfUniform { alpha: 100.0 },
+//!     mean_cost_secs: 0.0,
+//!     cost: CostModel::UniformSpread { spread: 0.2 },
+//!     seed: 7,
+//! }
+//! .with_offered_load(0.5, 25.0) // rho = 0.5 against the paper's cluster
+//! .generate();
+//! assert_eq!(w.requests.len(), 1_000);
+//! assert!((w.offered_load(25.0) - 0.5).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dfslike;
+pub mod ops;
+pub mod request;
+pub mod synthetic;
+pub mod trace;
+pub mod weights;
+
+pub use dfslike::{Burst, DfsLikeConfig};
+pub use ops::{OpKind, OpMix};
+pub use request::{Request, Workload, WorkloadStats};
+pub use synthetic::{CostModel, SyntheticConfig};
+pub use trace::{load_json, read_csv, save_json, write_csv, TraceError};
+pub use weights::WeightDist;

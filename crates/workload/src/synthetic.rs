@@ -1,0 +1,262 @@
+//! The synthetic workload generator (paper §7).
+//!
+//! "The synthetic workload consists of 100,000 client requests against 500
+//! file sets during a period of 10,000 seconds. Although workload
+//! inter-arrival times in each file set are governed by a Poisson process,
+//! the distribution of requests from each file set is stable for the
+//! duration of the simulation."
+//!
+//! Each file set draws a weight `w_j` from the configured [`WeightDist`];
+//! the total request budget is split proportionally to the weights
+//! (largest-remainder rounding, so the configured total is hit exactly,
+//! matching the paper's stated counts), and each file set's requests arrive
+//! as a homogeneous Poisson process — implemented by drawing its request
+//! count's arrival instants uniformly over the duration, which is the
+//! distribution of a Poisson process conditioned on its count.
+
+use crate::request::{Request, Workload};
+use crate::weights::WeightDist;
+use anu_core::FileSetId;
+use anu_des::{RngStream, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How per-request service demands are drawn.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Every request costs exactly the mean.
+    Deterministic,
+    /// Uniform in `mean * [1 - spread, 1 + spread]` — the paper's "service
+    /// time variance is low" regime.
+    UniformSpread {
+        /// Relative half-width, e.g. 0.2 for ±20%.
+        spread: f64,
+    },
+    /// Exponential with the given mean (memoryless, higher variance).
+    Exponential,
+    /// Costs drawn from a metadata operation mix (see [`crate::ops`]):
+    /// each request is a lookup/stat/open/…, costing the op's relative
+    /// weight times the mean.
+    Ops(crate::ops::OpMix),
+}
+
+impl CostModel {
+    /// Draw one service demand with the given mean (seconds).
+    pub fn sample(&self, mean_secs: f64, rng: &mut RngStream) -> SimDuration {
+        let secs = match *self {
+            CostModel::Deterministic => mean_secs,
+            CostModel::UniformSpread { spread } => {
+                rng.uniform_range(mean_secs * (1.0 - spread), mean_secs * (1.0 + spread))
+            }
+            CostModel::Exponential => rng.exponential(1.0 / mean_secs),
+            CostModel::Ops(mix) => mix.sample(mean_secs, rng).1,
+        };
+        SimDuration::from_secs_f64(secs.max(1e-6))
+    }
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of file sets (paper: 500).
+    pub n_file_sets: usize,
+    /// Total client requests (paper: 100,000).
+    pub total_requests: u64,
+    /// Workload duration in seconds (paper: 10,000).
+    pub duration_secs: f64,
+    /// Per-file-set weight distribution (paper: `alpha^x`, extreme alpha).
+    pub weights: WeightDist,
+    /// Mean service demand at speed 1, seconds. Tuned (paper: "we tune β
+    /// so that the system is below peak load") — see
+    /// [`SyntheticConfig::with_offered_load`].
+    pub mean_cost_secs: f64,
+    /// Service demand model.
+    pub cost: CostModel,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig::paper(42)
+    }
+}
+
+impl SyntheticConfig {
+    /// The paper's synthetic configuration: 100k requests, 500 file sets,
+    /// 10,000 s, log-uniform weights spanning 3 decades, and a mean cost
+    /// putting a five-server 1/3/5/7/9 cluster at offered load ~0.5.
+    pub fn paper(seed: u64) -> Self {
+        SyntheticConfig {
+            n_file_sets: 500,
+            total_requests: 100_000,
+            duration_secs: 10_000.0,
+            weights: WeightDist::PowerOfUniform { alpha: 1000.0 },
+            mean_cost_secs: 1.25,
+            cost: CostModel::UniformSpread { spread: 0.2 },
+            seed,
+        }
+    }
+
+    /// Adjust the mean cost so the workload offers the given load `rho`
+    /// against a cluster with the given total speed.
+    pub fn with_offered_load(mut self, rho: f64, total_speed: f64) -> Self {
+        assert!(rho > 0.0 && total_speed > 0.0);
+        let rate = self.total_requests as f64 / self.duration_secs;
+        self.mean_cost_secs = rho * total_speed / rate;
+        self
+    }
+
+    /// Generate the workload.
+    pub fn generate(&self) -> Workload {
+        assert!(self.n_file_sets > 0 && self.total_requests > 0);
+        let mut wrng = RngStream::new(self.seed, "synthetic/weights");
+        let mut arng = RngStream::new(self.seed, "synthetic/arrivals");
+        let mut crng = RngStream::new(self.seed, "synthetic/costs");
+
+        let weights = self.weights.sample(self.n_file_sets, &mut wrng);
+        let counts = apportion(self.total_requests, &weights);
+
+        let mut requests = Vec::with_capacity(self.total_requests as usize);
+        for (j, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                // A Poisson process conditioned on N arrivals in [0, T) has
+                // its arrivals i.i.d. uniform — draw them directly, which
+                // both matches the model and hits the exact request budget.
+                let t = arng.uniform() * self.duration_secs;
+                requests.push(Request {
+                    arrival: SimTime::from_secs_f64(t),
+                    file_set: FileSetId(j as u64),
+                    cost: self.cost.sample(self.mean_cost_secs, &mut crng),
+                });
+            }
+        }
+        Workload::new(
+            format!("synthetic({:?})", self.weights),
+            self.n_file_sets,
+            SimDuration::from_secs_f64(self.duration_secs),
+            requests,
+        )
+    }
+}
+
+/// Split `total` into integer parts proportional to `weights`, exactly
+/// (largest-remainder rounding).
+pub(crate) fn apportion(total: u64, weights: &[f64]) -> Vec<u64> {
+    let wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0, "weights sum to zero");
+    let mut counts: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as f64 * w / wsum;
+        let floor = exact.floor() as u64;
+        counts.push(floor);
+        assigned += floor;
+        remainders.push((exact - floor as f64, i));
+    }
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut leftover = total - assigned;
+    let mut i = 0;
+    while leftover > 0 {
+        counts[remainders[i % remainders.len()].1] += 1;
+        leftover -= 1;
+        i += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_exact() {
+        let c = apportion(100, &[1.0, 1.0, 1.0]);
+        assert_eq!(c.iter().sum::<u64>(), 100);
+        assert!(c.iter().all(|&x| (33..=34).contains(&x)));
+        let c2 = apportion(10, &[9.0, 1.0]);
+        assert_eq!(c2, vec![9, 1]);
+    }
+
+    #[test]
+    fn paper_config_counts() {
+        let w = SyntheticConfig::paper(7).generate();
+        let s = w.stats();
+        assert_eq!(s.total_requests, 100_000);
+        assert_eq!(w.n_file_sets, 500);
+        assert!((s.duration_secs - 10_000.0).abs() < 1e-9);
+        // Extreme heterogeneity: >100x between most and least active.
+        assert!(s.heterogeneity_ratio > 100.0, "{}", s.heterogeneity_ratio);
+    }
+
+    #[test]
+    fn offered_load_calibration() {
+        let cfg = SyntheticConfig::paper(7).with_offered_load(0.5, 25.0);
+        let w = cfg.generate();
+        let rho = w.offered_load(25.0);
+        assert!((rho - 0.5).abs() < 0.02, "rho {rho}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticConfig::paper(9).generate();
+        let b = SyntheticConfig::paper(9).generate();
+        assert_eq!(a.requests, b.requests);
+        let c = SyntheticConfig::paper(10).generate();
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn arrivals_within_duration_and_sorted() {
+        let w = SyntheticConfig {
+            n_file_sets: 10,
+            total_requests: 5_000,
+            duration_secs: 100.0,
+            weights: WeightDist::Constant,
+            mean_cost_secs: 0.01,
+            cost: CostModel::Deterministic,
+            seed: 1,
+        }
+        .generate();
+        assert!(w.requests.iter().all(|r| r.arrival.as_secs_f64() < 100.0));
+        assert!(w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn cost_models() {
+        let mut r = RngStream::new(1, "c");
+        let d = CostModel::Deterministic.sample(0.5, &mut r);
+        assert_eq!(d, SimDuration::from_secs_f64(0.5));
+        for _ in 0..100 {
+            let u = CostModel::UniformSpread { spread: 0.2 }.sample(1.0, &mut r);
+            let s = u.as_secs_f64();
+            assert!((0.8..=1.2).contains(&s), "{s}");
+        }
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| CostModel::Exponential.sample(0.5, &mut r).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "{mean}");
+    }
+
+    #[test]
+    fn stable_distribution_over_time() {
+        // Per-set request share in the first and second half should agree
+        // (the paper: "the distribution of requests from each file set is
+        // stable for the duration of the simulation").
+        let w = SyntheticConfig::paper(3).generate();
+        let half = SimTime::from_secs_f64(5_000.0);
+        let d1 = w.window_demands(SimTime::ZERO, half);
+        let d2 = w.window_demands(half, SimTime(u64::MAX));
+        let top: usize = (0..500)
+            .max_by(|&a, &b| d1[a].partial_cmp(&d1[b]).unwrap())
+            .unwrap();
+        let r1 = d1[top] / d1.iter().sum::<f64>();
+        let r2 = d2[top] / d2.iter().sum::<f64>();
+        assert!(
+            (r1 - r2).abs() / r1 < 0.25,
+            "top-set share drifted: {r1} vs {r2}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Trace persistence: CSV and JSON.
+//!
+//! Generated workloads can be saved and replayed so experiments across
+//! policies (and across machines) run against byte-identical traces. CSV is
+//! the line format `arrival_us,file_set,cost_us`; JSON serializes the whole
+//! [`Workload`] including its label.
+
+use crate::request::{Request, Workload};
+use anu_core::FileSetId;
+use anu_des::{SimDuration, SimTime};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed CSV at the given 1-based line.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Malformed JSON.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::Json(e) => write!(f, "trace json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+/// Write a workload as CSV: header then `arrival_us,file_set,cost_us`.
+pub fn write_csv<W: Write>(w: &Workload, out: W) -> Result<(), TraceError> {
+    let mut out = BufWriter::new(out);
+    writeln!(out, "# label: {}", w.label)?;
+    writeln!(out, "# n_file_sets: {}", w.n_file_sets)?;
+    writeln!(out, "# duration_us: {}", w.duration_us)?;
+    writeln!(out, "arrival_us,file_set,cost_us")?;
+    for r in &w.requests {
+        writeln!(out, "{},{},{}", r.arrival.0, r.file_set.0, r.cost.0)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a workload from the CSV format produced by [`write_csv`].
+pub fn read_csv<R: BufRead>(input: R) -> Result<Workload, TraceError> {
+    let mut label = String::from("trace");
+    let mut n_file_sets = 0usize;
+    let mut duration_us = 0u64;
+    let mut requests = Vec::new();
+    let mut max_fs = 0u64;
+
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("label:") {
+                label = v.trim().to_string();
+            } else if let Some(v) = rest.strip_prefix("n_file_sets:") {
+                n_file_sets = v.trim().parse().map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad n_file_sets: {e}"),
+                })?;
+            } else if let Some(v) = rest.strip_prefix("duration_us:") {
+                duration_us = v.trim().parse().map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad duration_us: {e}"),
+                })?;
+            }
+            continue;
+        }
+        if trimmed.starts_with("arrival_us") {
+            continue; // column header
+        }
+        let mut parts = trimmed.split(',');
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .ok_or_else(|| TraceError::Parse {
+                    line: lineno,
+                    message: format!("missing field {name}"),
+                })
+                .and_then(|s| {
+                    s.trim().parse::<u64>().map_err(|e| TraceError::Parse {
+                        line: lineno,
+                        message: format!("bad {name}: {e}"),
+                    })
+                })
+        };
+        let arrival = field("arrival_us")?;
+        let fs = field("file_set")?;
+        let cost = field("cost_us")?;
+        max_fs = max_fs.max(fs);
+        requests.push(Request {
+            arrival: SimTime(arrival),
+            file_set: FileSetId(fs),
+            cost: SimDuration(cost),
+        });
+    }
+    if n_file_sets == 0 {
+        n_file_sets = (max_fs + 1) as usize;
+    }
+    if duration_us == 0 {
+        duration_us = requests.iter().map(|r| r.arrival.0).max().unwrap_or(0) + 1;
+    }
+    Ok(Workload::new(
+        label,
+        n_file_sets,
+        SimDuration(duration_us),
+        requests,
+    ))
+}
+
+/// Save a workload as JSON to `path`.
+pub fn save_json(w: &Workload, path: &Path) -> Result<(), TraceError> {
+    let f = std::fs::File::create(path)?;
+    serde_json::to_writer(BufWriter::new(f), w)?;
+    Ok(())
+}
+
+/// Load a workload from JSON at `path`.
+pub fn load_json(path: &Path) -> Result<Workload, TraceError> {
+    let f = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(io::BufReader::new(f))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::CostModel;
+    use crate::synthetic::SyntheticConfig;
+    use crate::weights::WeightDist;
+
+    fn small() -> Workload {
+        SyntheticConfig {
+            n_file_sets: 5,
+            total_requests: 100,
+            duration_secs: 10.0,
+            weights: WeightDist::Constant,
+            mean_cost_secs: 0.01,
+            cost: CostModel::Deterministic,
+            seed: 3,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let w = small();
+        let mut buf = Vec::new();
+        write_csv(&w, &mut buf).unwrap();
+        let w2 = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(w2.requests, w.requests);
+        assert_eq!(w2.n_file_sets, w.n_file_sets);
+        assert_eq!(w2.duration_us, w.duration_us);
+        assert_eq!(w2.label, w.label);
+    }
+
+    #[test]
+    fn csv_infers_missing_metadata() {
+        let csv = "1000,0,500\n2000,3,500\n";
+        let w = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(w.n_file_sets, 4);
+        assert_eq!(w.requests.len(), 2);
+        assert_eq!(w.duration_us, 2001);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let err = read_csv("not,a,number\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn csv_missing_field() {
+        let err = read_csv("123,4\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn json_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("anu_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.json");
+        let w = small();
+        save_json(&w, &path).unwrap();
+        let w2 = load_json(&path).unwrap();
+        assert_eq!(w2.requests, w.requests);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the workload generators: exact budgets, valid
+//! arrival ranges, determinism, serialization fidelity.
+
+use anu_workload::{
+    read_csv, write_csv, Burst, CostModel, DfsLikeConfig, SyntheticConfig, WeightDist,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthetic_hits_exact_budget(
+        seed in any::<u64>(),
+        n_sets in 1usize..100,
+        requests in 1u64..5_000,
+        duration in 10.0f64..5_000.0,
+    ) {
+        let w = SyntheticConfig {
+            n_file_sets: n_sets,
+            total_requests: requests,
+            duration_secs: duration,
+            weights: WeightDist::PowerOfUniform { alpha: 100.0 },
+            mean_cost_secs: 0.1,
+            cost: CostModel::Deterministic,
+            seed,
+        }
+        .generate();
+        prop_assert_eq!(w.requests.len() as u64, requests);
+        prop_assert!(w.requests.iter().all(|r| r.arrival.as_secs_f64() < duration));
+        prop_assert!(w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        prop_assert!(w.requests.iter().all(|r| (r.file_set.0 as usize) < n_sets));
+    }
+
+    #[test]
+    fn offered_load_calibration_is_accurate(
+        seed in any::<u64>(),
+        rho in 0.05f64..0.95,
+    ) {
+        let w = SyntheticConfig {
+            n_file_sets: 50,
+            total_requests: 20_000,
+            duration_secs: 1_000.0,
+            weights: WeightDist::Constant,
+            mean_cost_secs: 0.0,
+            cost: CostModel::Deterministic,
+            seed,
+        }
+        .with_offered_load(rho, 25.0)
+        .generate();
+        let got = w.offered_load(25.0);
+        prop_assert!((got - rho).abs() < 0.02 * rho.max(0.1), "want {rho}, got {got}");
+    }
+
+    #[test]
+    fn dfslike_respects_activity_ratio(
+        seed in any::<u64>(),
+        ratio in 10.0f64..500.0,
+    ) {
+        let w = DfsLikeConfig {
+            n_file_sets: 21,
+            total_requests: 20_000,
+            duration_secs: 600.0,
+            activity_ratio: ratio,
+            bursts: vec![vec![Burst { start_frac: 0.4, end_frac: 0.5, factor: 2.0 }]],
+            mean_cost_secs: 0.1,
+            cost: CostModel::Deterministic,
+            seed,
+        }
+        .generate();
+        let s = w.stats();
+        prop_assert_eq!(s.total_requests, 20_000);
+        // Rounding moves the realized ratio a little; it must stay near the
+        // configured spectrum.
+        prop_assert!(
+            s.heterogeneity_ratio > ratio * 0.5 && s.heterogeneity_ratio < ratio * 2.0,
+            "configured {ratio}, realized {}",
+            s.heterogeneity_ratio
+        );
+    }
+
+    #[test]
+    fn csv_roundtrip_any_workload(seed in any::<u64>(), n in 1u64..500) {
+        let w = SyntheticConfig {
+            n_file_sets: 10,
+            total_requests: n,
+            duration_secs: 60.0,
+            weights: WeightDist::Zipfian { s: 1.0 },
+            mean_cost_secs: 0.05,
+            cost: CostModel::UniformSpread { spread: 0.2 },
+            seed,
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_csv(&w, &mut buf).unwrap();
+        let w2 = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(w.requests, w2.requests);
+        prop_assert_eq!(w.n_file_sets, w2.n_file_sets);
+        prop_assert_eq!(w.duration_us, w2.duration_us);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic(seed in any::<u64>()) {
+        let a = SyntheticConfig::paper(seed).generate();
+        let b = SyntheticConfig::paper(seed).generate();
+        prop_assert_eq!(a.requests, b.requests);
+        let c = DfsLikeConfig {
+            total_requests: 5_000,
+            ..DfsLikeConfig::paper(seed)
+        }
+        .generate();
+        let d = DfsLikeConfig {
+            total_requests: 5_000,
+            ..DfsLikeConfig::paper(seed)
+        }
+        .generate();
+        prop_assert_eq!(c.requests, d.requests);
+    }
+
+    #[test]
+    fn window_demands_partition_total(seed in any::<u64>(), cut in 0.1f64..0.9) {
+        let w = SyntheticConfig {
+            n_file_sets: 20,
+            total_requests: 2_000,
+            duration_secs: 100.0,
+            weights: WeightDist::PowerOfUniform { alpha: 30.0 },
+            mean_cost_secs: 0.02,
+            cost: CostModel::Deterministic,
+            seed,
+        }
+        .generate();
+        use anu_des::SimTime;
+        let mid = SimTime::from_secs_f64(100.0 * cut);
+        let a = w.window_demands(SimTime::ZERO, mid);
+        let b = w.window_demands(mid, SimTime(u64::MAX));
+        let total = w.total_demands();
+        for i in 0..20 {
+            prop_assert!((a[i] + b[i] - total[i]).abs() < 1e-9);
+        }
+    }
+}

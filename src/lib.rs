@@ -1,0 +1,45 @@
+//! # anu — Handling Heterogeneity in Shared-Disk File Systems
+//!
+//! A complete Rust reproduction of **Wu & Burns, SC'03**: adaptive,
+//! non-uniform (ANU) randomization for load placement and server
+//! provisioning in shared-disk file systems built on heterogeneous
+//! clusters, together with every substrate its evaluation needs.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `anu-core` | the ANU algorithm: unit interval, partitions, hash family, tuner, over-tuning heuristics |
+//! | [`des`] | `anu-des` | discrete-event simulation kernel (YACSIM substitute) |
+//! | [`workload`] | `anu-workload` | synthetic + DFSTrace-like workload generators |
+//! | [`cluster`] | `anu-cluster` | the simulated Storage Tank metadata cluster |
+//! | [`policies`] | `anu-policies` | simple randomization, round-robin, prescient LPT, ANU |
+//! | [`harness`] | `anu-harness` | experiments regenerating Figures 6–11 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anu::core::{PlacementMap, ServerId};
+//!
+//! // Four servers share the unit interval equally; any node can locate
+//! // any file set by hashing its unique name — no I/O, no directory.
+//! let servers: Vec<ServerId> = (0..4).map(ServerId).collect();
+//! let map = PlacementMap::with_default_rounds(&servers, 7).unwrap();
+//! let owner = map.locate(b"home/alice");
+//! assert!(servers.contains(&owner));
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (heterogeneous cluster
+//! simulation, failover, the over-tuning problem) and the `figures`
+//! binary (`cargo run --release -p anu-harness --bin figures`) for the
+//! full evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use anu_cluster as cluster;
+pub use anu_core as core;
+pub use anu_des as des;
+pub use anu_harness as harness;
+pub use anu_policies as policies;
+pub use anu_workload as workload;

@@ -1,0 +1,109 @@
+//! CI-speed shape regression tests: every figure's qualitative claims,
+//! checked on the reduced (~10%) versions of the exact figure experiments.
+//!
+//! The full-size runs (and the numbers recorded in EXPERIMENTS.md) come
+//! from the `figures` binary; these tests keep the shapes from silently
+//! regressing. The reduced trace keeps the full file-set heterogeneity, so
+//! all the qualitative dynamics survive the shrink.
+
+use anu::harness::{
+    check_closeup, check_decomposition, check_four_policy, check_overtuning, fig10, fig11, fig6,
+    fig7, fig8, fig9, reduced, ShapeCheck, DEFAULT_SEED,
+};
+
+fn assert_all_pass(checks: &[ShapeCheck]) {
+    for c in checks {
+        assert!(c.pass, "shape check failed: {} ({})", c.claim, c.measured);
+    }
+}
+
+#[test]
+fn fig8_shapes_reduced() {
+    let exp = reduced(fig8(DEFAULT_SEED), DEFAULT_SEED);
+    let results = exp.run_all();
+    assert_all_pass(&check_four_policy(&results));
+}
+
+#[test]
+fn fig9_shapes_reduced() {
+    let exp = reduced(fig9(DEFAULT_SEED), DEFAULT_SEED);
+    let results = exp.run_all();
+    assert_all_pass(&check_closeup(&results, 2));
+}
+
+#[test]
+fn fig10_shapes_reduced() {
+    let exp = reduced(fig10(DEFAULT_SEED), DEFAULT_SEED);
+    let results = exp.run_all();
+    assert_all_pass(&check_overtuning(&results));
+}
+
+#[test]
+fn fig11_shapes_reduced() {
+    let plain = reduced(fig10(DEFAULT_SEED), DEFAULT_SEED)
+        .run_one("anu-no-heuristics")
+        .expect("plain run");
+    let exp = reduced(fig11(DEFAULT_SEED), DEFAULT_SEED);
+    let results = exp.run_all();
+    let checks = check_decomposition(&plain, &results);
+    // The divergent-only claim ("reaches balance, but more slowly than all
+    // three combined") needs the full horizon to manifest — the paper's
+    // own Figure 11(c) converges only late in the hour. Assert the
+    // thresholding and top-off claims here; the `figures` binary asserts
+    // all four at full scale.
+    assert_all_pass(&checks[..3]);
+}
+
+#[test]
+fn fig6_adaptive_policies_beat_static_reduced() {
+    // The reduced trace keeps the burst structure and skew; at 10% scale
+    // the static-vs-adaptive ordering is what must hold (the server-0
+    // specifics are asserted only at full scale — with 21 lumpy sets the
+    // shrunken run realizes a different draw).
+    use anu::cluster::late_mean;
+    let exp = reduced(fig6(DEFAULT_SEED), DEFAULT_SEED);
+    let results = exp.run_all();
+    let lm = |label: &str| {
+        late_mean(
+            &results
+                .iter()
+                .find(|r| r.policy == label)
+                .expect("policy present")
+                .series,
+        )
+    };
+    let static_best = lm("simple-randomization").min(lm("round-robin"));
+    assert!(
+        lm("anu-randomization") < static_best,
+        "anu {} vs static best {}",
+        lm("anu-randomization"),
+        static_best
+    );
+    assert!(
+        lm("dynamic-prescient") < static_best,
+        "prescient {} vs static best {}",
+        lm("dynamic-prescient"),
+        static_best
+    );
+}
+
+#[test]
+fn fig7_prescient_knowledge_advantage_reduced() {
+    // The trace close-up's convergence-timing claim needs the full hour
+    // (the 6-minute slice is ~3 migration round-trips long); at reduced
+    // scale we assert the knowledge claim only — prescient starts balanced
+    // while ANU starts blind — and leave convergence to the full-scale
+    // `figures` run.
+    let exp = reduced(fig7(DEFAULT_SEED), DEFAULT_SEED);
+    let results = exp.run_all();
+    let checks = check_closeup(&results, 1);
+    let balanced_start = checks
+        .iter()
+        .find(|c| c.claim.contains("load-balanced state at time 0"))
+        .expect("check present");
+    assert!(
+        balanced_start.pass,
+        "{} ({})",
+        balanced_start.claim, balanced_start.measured
+    );
+}
