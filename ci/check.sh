@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate. Runs everything a PR must pass, in cheap-to-expensive
+# order: formatting, the clippy wall, the repo's own lint driver, then the
+# tier-1 build and test suite. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+# Clippy may be absent on minimal toolchains; the wall is still enforced
+# in CI proper, so skip gracefully rather than failing the local gate.
+if cargo clippy --version >/dev/null 2>&1; then
+    step "cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    step "clippy not installed; skipping (install with: rustup component add clippy)"
+fi
+
+step "anu-xtask check (determinism, soundness, panic policy, doc coverage)"
+cargo run -q -p anu-xtask -- check
+
+step "tier-1: cargo build --release"
+cargo build --release
+
+step "tier-1: cargo test"
+cargo test -q
+
+step "all checks passed"

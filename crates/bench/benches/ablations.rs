@@ -3,27 +3,27 @@
 //! per-heuristic tuner cost, and the movement cost of membership churn
 //! versus a naive re-randomization.
 
+use anu_bench::bench;
 use anu_core::{AverageKind, FileSetId, LoadReport, PlacementMap, ServerId, Tuner, TuningConfig};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
+use std::hint::black_box;
 
 fn reports(n: u32) -> Vec<LoadReport> {
     (0..n)
         .map(|i| LoadReport {
             server: ServerId(i),
             // A deterministic spread of latencies around 100 ms.
-            mean_latency_ms: 40.0 + (i as f64 * 37.0) % 160.0,
-            requests: 100 + (i as u64 * 13) % 50,
+            mean_latency_ms: 40.0 + (f64::from(i) * 37.0) % 160.0,
+            requests: 100 + (u64::from(i) * 13) % 50,
         })
         .collect()
 }
 
 fn shares(n: u32) -> BTreeMap<ServerId, f64> {
-    (0..n).map(|i| (ServerId(i), 1.0 / n as f64)).collect()
+    (0..n).map(|i| (ServerId(i), 1.0 / f64::from(n))).collect()
 }
 
-fn bench_tuner_plan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tuner_plan");
+fn bench_tuner_plan() {
     for n in [5u32, 50, 500] {
         let rs = reports(n);
         let sh = shares(n);
@@ -36,82 +36,73 @@ fn bench_tuner_plan(c: &mut Criterion) {
                 t
             }),
         ] {
-            g.bench_with_input(BenchmarkId::new(label, n), &(&rs, &sh), |b, (rs, sh)| {
-                let mut tuner = Tuner::new(cfg);
-                b.iter(|| tuner.plan(black_box(sh), black_box(rs)))
+            let mut tuner = Tuner::new(cfg);
+            bench(&format!("tuner_plan/{label}/servers={n}"), || {
+                tuner.plan(black_box(&sh), black_box(&rs))
             });
         }
     }
-    g.finish();
 }
 
-fn bench_tune_cycle(c: &mut Criterion) {
+fn bench_tune_cycle() {
     // A full delegate cycle: plan + rebalance + relocate 1000 file sets.
     let servers: Vec<ServerId> = (0..10).map(ServerId).collect();
     let names: Vec<[u8; 8]> = (0..1000u64).map(|i| FileSetId(i).name_bytes()).collect();
-    c.bench_function(
+    let mut map = PlacementMap::with_default_rounds(&servers, 3).unwrap();
+    let mut tuner = Tuner::new(TuningConfig::plain());
+    let mut tick = 0u32;
+    bench(
         "tune_cycle/plan+rebalance+relocate (10 servers, 1k sets)",
-        |b| {
-            let mut map = PlacementMap::with_default_rounds(&servers, 3).unwrap();
-            let mut tuner = Tuner::new(TuningConfig::plain());
-            let mut tick = 0u32;
-            b.iter(|| {
-                tick = tick.wrapping_add(1);
-                // Rotating imbalance so every cycle produces movement.
-                let rs: Vec<LoadReport> = (0..10)
-                    .map(|i| LoadReport {
-                        server: ServerId(i),
-                        mean_latency_ms: if (i + tick).is_multiple_of(10) {
-                            900.0
-                        } else {
-                            90.0
-                        },
-                        requests: 100,
-                    })
-                    .collect();
-                if let Some(plan) = tuner.plan(&map.share_fractions(), &rs) {
-                    map.rebalance(&plan.targets).unwrap();
-                }
-                let mut acc = 0u64;
-                for n in &names {
-                    acc = acc.wrapping_add(map.locate(n).0 as u64);
-                }
-                acc
-            })
+        || {
+            tick = tick.wrapping_add(1);
+            // Rotating imbalance so every cycle produces movement.
+            let rs: Vec<LoadReport> = (0..10)
+                .map(|i| LoadReport {
+                    server: ServerId(i),
+                    mean_latency_ms: if (i + tick).is_multiple_of(10) {
+                        900.0
+                    } else {
+                        90.0
+                    },
+                    requests: 100,
+                })
+                .collect();
+            if let Some(plan) = tuner.plan(&map.share_fractions(), &rs) {
+                map.rebalance(&plan.targets).unwrap();
+            }
+            let mut acc = 0u64;
+            for n in &names {
+                acc = acc.wrapping_add(u64::from(map.locate(n).0));
+            }
+            acc
         },
     );
 }
 
-fn bench_membership_movement(c: &mut Criterion) {
+fn bench_membership_movement() {
     // Not a timing question but a cost-model one; expressed as a benchmark
     // over the relocation scan so regressions in movement volume surface as
     // time (more moved sets => more downstream migration work). The actual
     // movement *counts* are printed by `sweep --study churn`.
     let servers: Vec<ServerId> = (0..20).map(ServerId).collect();
     let names: Vec<[u8; 8]> = (0..5000u64).map(|i| FileSetId(i).name_bytes()).collect();
-    c.bench_function(
+    bench(
         "membership/fail+restore relocation (20 servers, 5k sets)",
-        |b| {
-            b.iter_with_setup(
-                || PlacementMap::with_default_rounds(&servers, 5).unwrap(),
-                |mut map| {
-                    map.remove_server(ServerId(7)).unwrap();
-                    map.restore_half_occupancy().unwrap();
-                    let mut acc = 0u64;
-                    for n in &names {
-                        acc = acc.wrapping_add(map.locate(n).0 as u64);
-                    }
-                    acc
-                },
-            )
+        || {
+            let mut map = PlacementMap::with_default_rounds(&servers, 5).unwrap();
+            map.remove_server(ServerId(7)).unwrap();
+            map.restore_half_occupancy().unwrap();
+            let mut acc = 0u64;
+            for n in &names {
+                acc = acc.wrapping_add(u64::from(map.locate(n).0));
+            }
+            acc
         },
     );
 }
 
-criterion_group!(
-    benches,
-    bench_tuner_plan,
-    bench_tune_cycle,
-    bench_membership_movement
-);
-criterion_main!(benches);
+fn main() {
+    bench_tuner_plan();
+    bench_tune_cycle();
+    bench_membership_movement();
+}

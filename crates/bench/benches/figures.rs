@@ -1,17 +1,17 @@
-//! One Criterion benchmark per evaluation figure, at reduced scale.
+//! One benchmark per evaluation figure, at reduced scale.
 //!
 //! Each benchmark runs the *same experiment structure* as the paper figure
 //! (same cluster, same policy lineup, same workload family with identical
-//! heterogeneity) shrunk to ~10% of the request budget so Criterion can
-//! sample it. The full-size series are produced by the `figures` binary
-//! (`cargo run --release -p anu-harness --bin figures`); these benches
-//! track the cost of regenerating each figure and catch performance
-//! regressions in the simulation stack.
+//! heterogeneity) shrunk to ~10% of the request budget so the timing loop
+//! can sample it. The full-size series are produced by the `figures`
+//! binary (`cargo run --release -p anu-harness --bin figures`); these
+//! benches track the cost of regenerating each figure and catch
+//! performance regressions in the simulation stack.
 
+use anu_bench::bench;
 use anu_harness::{fig10, fig11, fig6, fig7, fig8, fig9, reduced, Experiment};
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let seed = 11;
     let figures: Vec<(&str, Experiment)> = vec![
         ("fig06_trace_policies", reduced(fig6(seed), seed)),
@@ -21,21 +21,13 @@ fn bench_figures(c: &mut Criterion) {
         ("fig10_overtuning", reduced(fig10(seed), seed)),
         ("fig11_decomposition", reduced(fig11(seed), seed)),
     ];
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
     for (name, exp) in &figures {
-        g.bench_function(*name, |b| {
-            b.iter(|| {
-                let results = exp.run_all();
-                results
-                    .iter()
-                    .map(|r| r.summary.completed_requests)
-                    .sum::<u64>()
-            })
+        bench(&format!("figures/{name}"), || {
+            let results = exp.run_all();
+            results
+                .iter()
+                .map(|r| r.summary.completed_requests)
+                .sum::<u64>()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

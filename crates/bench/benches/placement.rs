@@ -3,114 +3,93 @@
 //! computation ("a hash probe does no I/O"), state scales with servers not
 //! file sets, and reconfiguration is cheap.
 
+use anu_bench::bench;
 use anu_core::{FileSetId, HashFamily, PlacementMap, ServerId};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
+use std::hint::black_box;
 
 fn servers(n: u32) -> Vec<ServerId> {
     (0..n).map(ServerId).collect()
 }
 
-fn bench_hash_family(c: &mut Criterion) {
+fn bench_hash_family() {
     let f = HashFamily::new(42, 32);
     let name = FileSetId(123456).name_bytes();
-    c.bench_function("hash/base+probe", |b| {
-        b.iter(|| {
-            let base = f.base(black_box(name));
-            f.probe(base, 0)
-        })
+    bench("hash/base+probe", || {
+        let base = f.base(black_box(name));
+        f.probe(base, 0)
     });
-    c.bench_function("hash/fallback_index", |b| {
-        let base = f.base(name);
-        b.iter(|| f.fallback_index(black_box(base), 5))
+    let base = f.base(name);
+    bench("hash/fallback_index", || {
+        f.fallback_index(black_box(base), 5)
     });
 }
 
-fn bench_locate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("locate");
+fn bench_locate() {
     for n in [5u32, 50, 500] {
         let map = PlacementMap::with_default_rounds(&servers(n), 7).unwrap();
         let names: Vec<[u8; 8]> = (0..1024u64).map(|i| FileSetId(i).name_bytes()).collect();
-        g.bench_with_input(BenchmarkId::new("servers", n), &map, |b, map| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) & 1023;
-                map.locate(black_box(names[i]))
-            })
+        let mut i = 0;
+        bench(&format!("locate/servers={n}"), || {
+            i = (i + 1) & 1023;
+            map.locate(black_box(names[i]))
         });
     }
-    g.finish();
 }
 
-fn bench_rebalance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rebalance");
+fn bench_rebalance() {
     for n in [5u32, 50, 500] {
         let ids = servers(n);
-        g.bench_with_input(BenchmarkId::new("servers", n), &n, |b, &n| {
-            let mut map = PlacementMap::with_default_rounds(&ids, 7).unwrap();
-            let mut flip = false;
-            b.iter(|| {
-                // Alternate between two skews so every iteration moves load.
-                flip = !flip;
-                let w: BTreeMap<ServerId, f64> = (0..n)
-                    .map(|i| {
-                        let heavy = (i % 2 == 0) == flip;
-                        (ServerId(i), if heavy { 2.0 } else { 1.0 })
-                    })
-                    .collect();
-                map.rebalance(black_box(&w)).unwrap()
-            })
+        let mut map = PlacementMap::with_default_rounds(&ids, 7).unwrap();
+        let mut flip = false;
+        bench(&format!("rebalance/servers={n}"), || {
+            // Alternate between two skews so every iteration moves load.
+            flip = !flip;
+            let w: BTreeMap<ServerId, f64> = (0..n)
+                .map(|i| {
+                    let heavy = (i % 2 == 0) == flip;
+                    (ServerId(i), if heavy { 2.0 } else { 1.0 })
+                })
+                .collect();
+            map.rebalance(black_box(&w)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_membership(c: &mut Criterion) {
-    c.bench_function("membership/remove+add (50 servers)", |b| {
-        let ids = servers(50);
-        b.iter_with_setup(
-            || PlacementMap::with_default_rounds(&ids, 7).unwrap(),
-            |mut map| {
-                map.remove_server(ServerId(17)).unwrap();
-                map.add_server(ServerId(17)).unwrap();
-                map
-            },
-        )
+fn bench_membership() {
+    let ids = servers(50);
+    bench("membership/remove+add (50 servers)", || {
+        let mut map = PlacementMap::with_default_rounds(&ids, 7).unwrap();
+        map.remove_server(ServerId(17)).unwrap();
+        map.add_server(ServerId(17)).unwrap();
+        map
     });
-    c.bench_function("membership/repartition via growth (8->9 servers)", |b| {
-        let ids = servers(8);
-        b.iter_with_setup(
-            || PlacementMap::with_default_rounds(&ids, 7).unwrap(),
-            |mut map| {
-                map.add_server(ServerId(8)).unwrap(); // forces P: 16 -> 32
-                map
-            },
-        )
+    let ids = servers(8);
+    bench("membership/repartition via growth (8->9 servers)", || {
+        let mut map = PlacementMap::with_default_rounds(&ids, 7).unwrap();
+        map.add_server(ServerId(8)).unwrap(); // forces P: 16 -> 32
+        map
     });
 }
 
-fn bench_assignment_scan(c: &mut Criterion) {
+fn bench_assignment_scan() {
     // The ANU policy recomputes the full assignment each reconfiguration:
     // cost of locating 10k file sets.
     let map = PlacementMap::with_default_rounds(&servers(20), 9).unwrap();
     let names: Vec<[u8; 8]> = (0..10_000u64).map(|i| FileSetId(i).name_bytes()).collect();
-    c.bench_function("locate/full-scan 10k sets, 20 servers", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for n in &names {
-                acc = acc.wrapping_add(map.locate(black_box(n)).0 as u64);
-            }
-            acc
-        })
+    bench("locate/full-scan 10k sets, 20 servers", || {
+        let mut acc = 0u64;
+        for n in &names {
+            acc = acc.wrapping_add(u64::from(map.locate(black_box(n)).0));
+        }
+        acc
     });
 }
 
-criterion_group!(
-    benches,
-    bench_hash_family,
-    bench_locate,
-    bench_rebalance,
-    bench_membership,
-    bench_assignment_scan
-);
-criterion_main!(benches);
+fn main() {
+    bench_hash_family();
+    bench_locate();
+    bench_rebalance();
+    bench_membership();
+    bench_assignment_scan();
+}

@@ -2,58 +2,52 @@
 //! calendar and FIFO stations, and end-to-end simulated-events-per-second
 //! for the cluster world.
 
+use anu_bench::bench;
 use anu_cluster::{run, ClusterConfig};
 use anu_core::TuningConfig;
 use anu_des::{Calendar, FifoStation, Job, SimDuration, SimTime, StartService};
 use anu_harness::{Experiment, PolicyKind};
 use anu_workload::{CostModel, SyntheticConfig, WeightDist};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 
-fn bench_calendar(c: &mut Criterion) {
-    let mut g = c.benchmark_group("calendar");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("schedule+pop 1024 events", |b| {
-        b.iter(|| {
-            let mut cal = Calendar::new();
-            for i in 0..1024u64 {
-                // Scatter times to exercise heap reordering.
-                cal.schedule(SimTime((i * 2_654_435_761) % 1_000_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = cal.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+fn bench_calendar() {
+    bench("calendar/schedule+pop 1024 events", || {
+        let mut cal = Calendar::new();
+        for i in 0..1024u64 {
+            // Scatter times to exercise heap reordering.
+            cal.schedule(SimTime((i * 2_654_435_761) % 1_000_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = cal.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-fn bench_station(c: &mut Criterion) {
-    c.bench_function("fifo_station/arrive+complete", |b| {
-        b.iter(|| {
-            let mut st: FifoStation<u32> = FifoStation::new();
-            let mut t = SimTime::ZERO;
-            for i in 0..256u32 {
-                t += SimDuration(10);
-                if let StartService::At(done) = st.arrive(
-                    t,
-                    Job {
-                        arrival: t,
-                        service: SimDuration(25),
-                        meta: i,
-                    },
-                ) {
-                    black_box(done);
-                }
+fn bench_station() {
+    bench("fifo_station/arrive+complete", || {
+        let mut st: FifoStation<u32> = FifoStation::new();
+        let mut t = SimTime::ZERO;
+        for i in 0..256u32 {
+            t += SimDuration(10);
+            if let StartService::At(done) = st.arrive(
+                t,
+                Job {
+                    arrival: t,
+                    service: SimDuration(25),
+                    meta: i,
+                },
+            ) {
+                black_box(done);
             }
-            let mut now = t;
-            while st.population() > 0 {
-                now += SimDuration(25);
-                black_box(st.complete(now));
-            }
-            st.counters()
-        })
+        }
+        let mut now = t;
+        while st.population() > 0 {
+            now += SimDuration(25);
+            black_box(st.complete(now));
+        }
+        st.counters()
     });
 }
 
@@ -78,9 +72,7 @@ fn small_experiment(policy: (&str, PolicyKind)) -> Experiment {
     }
 }
 
-fn bench_world(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world/10k-requests");
-    g.throughput(Throughput::Elements(10_000));
+fn bench_world() {
     for (label, kind) in [
         ("round-robin", PolicyKind::RoundRobin),
         (
@@ -91,19 +83,19 @@ fn bench_world(c: &mut Criterion) {
         ),
     ] {
         let exp = small_experiment((label, kind));
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut policy = exp.policies[0]
-                    .1
-                    .build(&exp.cluster, &exp.workload, exp.seed);
-                run(&exp.cluster, &exp.workload, policy.as_mut())
-                    .summary
-                    .completed_requests
-            })
+        bench(&format!("world/10k-requests/{label}"), || {
+            let mut policy = exp.policies[0]
+                .1
+                .build(&exp.cluster, &exp.workload, exp.seed);
+            run(&exp.cluster, &exp.workload, policy.as_mut())
+                .summary
+                .completed_requests
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_calendar, bench_station, bench_world);
-criterion_main!(benches);
+fn main() {
+    bench_calendar();
+    bench_station();
+    bench_world();
+}

@@ -2,7 +2,6 @@
 
 use anu_core::ServerId;
 use anu_des::{OnlineStats, TimeSeries};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Result of one simulation run.
@@ -19,7 +18,7 @@ pub struct RunResult {
 }
 
 /// Aggregate outcome of one run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunSummary {
     /// Requests offered by the workload.
     pub offered_requests: u64,

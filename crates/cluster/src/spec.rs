@@ -2,7 +2,6 @@
 
 use anu_core::ServerId;
 use anu_des::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One metadata server's static description.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// (at speed 1) takes `d / speed` on this server. The paper's five-server
 /// cluster uses speeds 1, 3, 5, 7, 9 — the most powerful server is nine
 /// times the least (§7).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ServerSpec {
     /// Server id.
     pub id: ServerId,
@@ -25,7 +24,7 @@ pub struct ServerSpec {
 /// cache […]. The acquiring server must initialize the file set.
 /// Furthermore, the acquiring file server starts with a cold cache, which
 /// hinders performance initially." (§7)
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MigrationConfig {
     /// Releasing server's cache flush time.
     pub flush: SimDuration,
@@ -58,7 +57,7 @@ impl MigrationConfig {
 }
 
 /// Cold-cache penalty after a file set lands on a new server.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ColdCacheConfig {
     /// Service-time multiplier at a completely cold cache.
     pub multiplier: f64,
@@ -88,7 +87,7 @@ impl ColdCacheConfig {
 }
 
 /// A scheduled fault-injection event.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum FaultEvent {
     /// Server fails (crash) at the given time.
     Fail {
@@ -116,7 +115,7 @@ impl FaultEvent {
 }
 
 /// Full cluster configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterConfig {
     /// Server descriptions. Ids must be unique.
     pub servers: Vec<ServerSpec>,

@@ -17,7 +17,7 @@ use anu_des::{
     TimeSeries,
 };
 use anu_workload::Workload;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Events of the cluster simulation.
 #[derive(Clone, Copy, Debug)]
@@ -52,7 +52,7 @@ struct ServerState {
     completed: u64,
     /// Requests served per file set since that set was acquired — drives
     /// the cold-cache factor.
-    warmth: HashMap<FileSetId, u32>,
+    warmth: BTreeMap<FileSetId, u32>,
     /// The pending completion event for the in-service job, so a failure
     /// that drains the station can cancel it (otherwise the stale event
     /// would fire against an idle — or worse, re-busy — station).
@@ -87,6 +87,7 @@ impl<'a> World<'a> {
 
     fn enqueue(&mut self, server: ServerId, arrival: SimTime, set: FileSetId, cost: SimDuration) {
         let now = self.cal.now();
+        // anu-lint: allow(panic) -- routing only targets servers registered at setup
         let st = self.servers.get_mut(&server).expect("known server");
         debug_assert!(st.alive, "routing to dead server {server}");
         let served = *st.warmth.get(&set).unwrap_or(&0);
@@ -102,6 +103,7 @@ impl<'a> World<'a> {
             let h = self.cal.schedule(t, Event::Complete(server));
             self.servers
                 .get_mut(&server)
+                // anu-lint: allow(panic) -- the same lookup succeeded at the top of enqueue
                 .expect("known server")
                 .completion = Some(h);
         }
@@ -121,12 +123,14 @@ impl<'a> World<'a> {
         let server = *self
             .assignment
             .get(&req.file_set)
+            // anu-lint: allow(panic) -- setup assigns every file set before the run starts
             .expect("every file set is assigned");
         self.enqueue(server, req.arrival, req.file_set, req.cost);
     }
 
     fn handle_complete(&mut self, server: ServerId) {
         let now = self.cal.now();
+        // anu-lint: allow(panic) -- Complete events carry ids of registered servers
         let st = self.servers.get_mut(&server).expect("known server");
         let (job, next) = st.station.complete(now);
         let latency = now.since(job.arrival);
@@ -135,6 +139,7 @@ impl<'a> World<'a> {
         st.all.push(latency.as_millis_f64());
         st.completed += 1;
         self.max_latency_ms = self.max_latency_ms.max(latency.as_millis_f64());
+        // anu-lint: allow(panic) -- same map, same key as the lookup above
         let st = self.servers.get_mut(&server).expect("known server");
         st.completion = match next {
             Some(t) => Some(self.cal.schedule(t, Event::Complete(server))),
@@ -208,6 +213,7 @@ impl<'a> World<'a> {
     }
 
     fn handle_migration_done(&mut self, set: FileSetId) {
+        // anu-lint: allow(panic) -- MigrationDone is scheduled only when the entry is inserted
         let m = self.migrations.remove(&set).expect("migration exists");
         // If the destination died while the set was in flight and no
         // retarget arrived, home it on the lowest-id alive server; the
@@ -221,6 +227,7 @@ impl<'a> World<'a> {
         // Acquiring server starts with a cold cache.
         self.servers
             .get_mut(&to)
+            // anu-lint: allow(panic) -- migration destinations are checked alive on arrival
             .expect("alive server")
             .warmth
             .insert(set, 0);
@@ -240,6 +247,7 @@ pub fn run(
     workload: &Workload,
     policy: &mut dyn PlacementPolicy,
 ) -> RunResult {
+    // anu-lint: allow(panic) -- entry precondition: results on an invalid config are meaningless
     cfg.validate().expect("invalid cluster config");
     let horizon = SimTime::ZERO + workload.duration();
     let series_len = workload.duration() + cfg.series_bucket;
@@ -262,7 +270,7 @@ pub fn run(
                         series: TimeSeries::new(cfg.series_bucket, series_len),
                         all: OnlineStats::new(),
                         completed: 0,
-                        warmth: HashMap::new(),
+                        warmth: BTreeMap::new(),
                         completion: None,
                     },
                 )
@@ -283,6 +291,7 @@ pub fn run(
         let s = world
             .assignment
             .get(fs)
+            // anu-lint: allow(panic) -- a policy that skips a file set is a contract violation worth halting on
             .unwrap_or_else(|| panic!("{} left {fs} unassigned", policy.name()));
         assert!(world.servers[s].alive);
         // Initial placement starts warm: the system has been serving these
@@ -290,6 +299,7 @@ pub fn run(
         world
             .servers
             .get_mut(s)
+            // anu-lint: allow(panic) -- `s` was asserted alive (hence registered) just above
             .expect("known")
             .warmth
             .insert(*fs, cfg.cold_cache.warm_after);
@@ -325,6 +335,7 @@ pub fn run(
             }
             Event::Fault(i) => match cfg.faults[i as usize] {
                 FaultEvent::Fail { server, .. } => {
+                    // anu-lint: allow(panic) -- fault scripts are validated against the server set
                     let st = world.servers.get_mut(&server).expect("known server");
                     assert!(st.alive, "double failure of {server}");
                     st.alive = false;
@@ -364,12 +375,14 @@ pub fn run(
                             let owner = *world
                                 .assignment
                                 .get(&job.meta.set)
+                                // anu-lint: allow(panic) -- failover re-assigns every set before requeueing
                                 .expect("set is assigned or migrating");
                             world.enqueue(owner, job.arrival, job.meta.set, job.meta.cost);
                         }
                     }
                 }
                 FaultEvent::Recover { server, .. } => {
+                    // anu-lint: allow(panic) -- fault scripts are validated against the server set
                     let st = world.servers.get_mut(&server).expect("known server");
                     assert!(!st.alive, "recovery of alive {server}");
                     st.alive = true;
@@ -498,7 +511,7 @@ mod tests {
         }
     }
 
-    fn small_workload(seed: u64) -> anu_workload::Workload {
+    fn small_workload(seed: u64) -> Workload {
         SyntheticConfig {
             n_file_sets: 20,
             total_requests: 4_000,
@@ -709,7 +722,7 @@ mod cache_tests {
         }
     }
 
-    fn uniform_workload(seed: u64) -> anu_workload::Workload {
+    fn uniform_workload(seed: u64) -> Workload {
         SyntheticConfig {
             n_file_sets: 4,
             total_requests: 4_000,

@@ -1,13 +1,17 @@
 //! Property tests of the cluster world: conservation and liveness under
 //! randomized workloads, policies and fault schedules.
+//!
+//! Cases come from a seeded [`RngStream`] (24 deterministic cases per
+//! property), so the suite runs offline with no property-test framework.
 
 use anu_cluster::{
     run, Assignment, ClusterConfig, ClusterView, FaultEvent, MoveSet, PlacementPolicy, ServerSpec,
 };
 use anu_core::{FileSetId, LoadReport, ServerId};
-use anu_des::{SimDuration, SimTime};
+use anu_des::{RngStream, SimDuration, SimTime};
 use anu_workload::{CostModel, SyntheticConfig, WeightDist};
-use proptest::prelude::*;
+
+const CASES: u64 = 24;
 
 /// Static modulo policy reused as a deterministic baseline.
 struct Modulo;
@@ -62,24 +66,23 @@ fn workload(seed: u64, n_sets: usize, requests: u64) -> anu_workload::Workload {
     .generate()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_request_completes(
-        seed in any::<u64>(),
-        n_sets in 5usize..40,
-        speeds in prop::collection::vec(1.0f64..9.0, 3..7),
-    ) {
+#[test]
+fn every_request_completes() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "every-request");
+        let seed = rng.next_u64();
+        let n_sets = 5 + rng.index(35);
+        let n_servers = 3 + rng.index(4);
         let mut cfg = ClusterConfig::paper();
-        cfg.servers = speeds
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| ServerSpec { id: ServerId(i as u32), speed: s })
+        cfg.servers = (0..n_servers)
+            .map(|i| ServerSpec {
+                id: ServerId(i as u32),
+                speed: 1.0 + rng.uniform() * 8.0,
+            })
             .collect();
         let w = workload(seed, n_sets, 2_000);
         let r = run(&cfg, &w, &mut Modulo);
-        prop_assert_eq!(r.summary.completed_requests, 2_000);
+        assert_eq!(r.summary.completed_requests, 2_000, "case {case}");
         // Latency accounting is conservative: every series bucket count sums
         // to completions.
         let total: u64 = r
@@ -87,34 +90,48 @@ proptest! {
             .values()
             .flat_map(|ts| ts.buckets().iter().map(|b| b.count))
             .sum();
-        prop_assert_eq!(total, 2_000);
+        assert_eq!(total, 2_000, "case {case}");
     }
+}
 
-    #[test]
-    fn single_fault_then_recover_conserves(
-        seed in any::<u64>(),
-        victim in 0u32..5,
-        fail_frac in 0.1f64..0.5,
-        recover_gap in 0.1f64..0.4,
-    ) {
+#[test]
+fn single_fault_then_recover_conserves() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "fault-recover");
+        let seed = rng.next_u64();
+        let victim = rng.index(5) as u32;
+        let fail_frac = 0.1 + rng.uniform() * 0.4;
+        let recover_gap = 0.1 + rng.uniform() * 0.3;
         let mut cfg = ClusterConfig::paper();
         let fail_at = 400.0 * fail_frac;
         let recover_at = fail_at + 400.0 * recover_gap;
         cfg.faults = vec![
-            FaultEvent::Fail { at: SimTime::from_secs_f64(fail_at), server: ServerId(victim) },
-            FaultEvent::Recover { at: SimTime::from_secs_f64(recover_at), server: ServerId(victim) },
+            FaultEvent::Fail {
+                at: SimTime::from_secs_f64(fail_at),
+                server: ServerId(victim),
+            },
+            FaultEvent::Recover {
+                at: SimTime::from_secs_f64(recover_at),
+                server: ServerId(victim),
+            },
         ];
         let w = workload(seed, 20, 2_000);
         let r = run(&cfg, &w, &mut Modulo);
-        prop_assert_eq!(r.summary.completed_requests, 2_000);
-        prop_assert!(r.summary.migrations >= 1, "orphans must have moved");
+        assert_eq!(r.summary.completed_requests, 2_000, "case {case}");
+        assert!(
+            r.summary.migrations >= 1,
+            "case {case}: orphans must have moved"
+        );
     }
+}
 
-    #[test]
-    fn anu_policy_survives_fault_schedules(
-        seed in any::<u64>(),
-        victims in prop::collection::vec(0u32..5, 1..3),
-    ) {
+#[test]
+fn anu_policy_survives_fault_schedules() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "fault-schedules");
+        let seed = rng.next_u64();
+        let n_victims = 1 + rng.index(2);
+        let victims: Vec<u32> = (0..n_victims).map(|_| rng.index(5) as u32).collect();
         // Distinct victims failing at staggered times, recovering later.
         let mut dedup = victims.clone();
         dedup.sort_unstable();
@@ -134,16 +151,21 @@ proptest! {
         let w = workload(seed, 30, 3_000);
         let mut policy = anu_policies::AnuPolicy::with_seed(seed);
         let r = run(&cfg, &w, &mut policy);
-        prop_assert_eq!(r.summary.completed_requests, 3_000);
+        assert_eq!(r.summary.completed_requests, 3_000, "case {case}");
     }
+}
 
-    #[test]
-    fn shorter_tick_never_loses_requests(seed in any::<u64>(), tick_s in 20u64..200) {
+#[test]
+fn shorter_tick_never_loses_requests() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "tick-conserves");
+        let seed = rng.next_u64();
+        let tick_s = 20 + rng.next_u64() % 180;
         let mut cfg = ClusterConfig::paper();
         cfg.tick = SimDuration::from_secs(tick_s);
         let w = workload(seed, 25, 2_500);
         let mut policy = anu_policies::AnuPolicy::with_seed(seed);
         let r = run(&cfg, &w, &mut policy);
-        prop_assert_eq!(r.summary.completed_requests, 2_500);
+        assert_eq!(r.summary.completed_requests, 2_500, "case {case}");
     }
 }

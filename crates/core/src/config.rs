@@ -1,8 +1,8 @@
 //! Top-level ANU configuration, serializable for replication.
 
 use crate::heuristics::TuningConfig;
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::placement::DEFAULT_ROUNDS;
-use serde::{Deserialize, Serialize};
 
 /// Everything a node needs to participate in ANU placement: the shared hash
 /// seed, the probe-round bound, and the delegate's tuning knobs.
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// This is configuration, not state — the replicated *state* is the
 /// [`crate::placement::PlacementMap`] the delegate distributes after each
 /// reconfiguration.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct AnuConfig {
     /// Seed of the agreed-upon hash family.
     pub seed: u64,
@@ -30,6 +30,26 @@ impl Default for AnuConfig {
     }
 }
 
+impl ToJson for AnuConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", Json::u64(self.seed)),
+            ("rounds", Json::u32(self.rounds)),
+            ("tuning", self.tuning.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AnuConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(AnuConfig {
+            seed: j.get("seed")?.as_u64()?,
+            rounds: j.get("rounds")?.as_u32()?,
+            tuning: TuningConfig::from_json(j.get("tuning")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,10 +62,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = AnuConfig::default();
-        let j = serde_json::to_string_pretty(&c).unwrap();
-        let c2: AnuConfig = serde_json::from_str(&j).unwrap();
+        let text = c.to_json().render_pretty();
+        let c2 = AnuConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(c, c2);
     }
 }

@@ -21,14 +21,14 @@
 //!   previous-interval state (e.g. after a delegate failover) it is simply
 //!   skipped, preserving graceful degradation.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 
 /// How the delegate condenses per-server latencies into one "average".
 ///
 /// The paper uses a request-weighted mean but notes the system "is robust to
 /// the choice of an average and operates well using different techniques";
 /// we ship both and benchmark the claim (`ablation_average`).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum AverageKind {
     /// Mean of server latencies weighted by each server's request count.
     #[default]
@@ -39,7 +39,7 @@ pub enum AverageKind {
 }
 
 /// Tuning knobs for the delegate, including the three heuristics.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct TuningConfig {
     /// Exponent of the scaling rule `s' = s · (μ/λ)^γ`. Smaller is gentler.
     pub gamma: f64,
@@ -158,6 +158,57 @@ impl TuningConfig {
     }
 }
 
+impl ToJson for AverageKind {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            AverageKind::WeightedMean => "weighted_mean",
+            AverageKind::Median => "median",
+        })
+    }
+}
+
+impl FromJson for AverageKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str()? {
+            "weighted_mean" => Ok(AverageKind::WeightedMean),
+            "median" => Ok(AverageKind::Median),
+            other => Err(JsonError::shape(format!("unknown average kind {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for TuningConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("gamma", Json::f64(self.gamma)),
+            ("max_factor", Json::f64(self.max_factor)),
+            ("min_grow_share", Json::f64(self.min_grow_share)),
+            ("threshold", self.threshold.map_or(Json::Null, Json::f64)),
+            ("top_off", Json::Bool(self.top_off)),
+            ("divergent", Json::Bool(self.divergent)),
+            ("average", self.average.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TuningConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let threshold = match j.get("threshold")? {
+            Json::Null => None,
+            v => Some(v.as_f64()?),
+        };
+        Ok(TuningConfig {
+            gamma: j.get("gamma")?.as_f64()?,
+            max_factor: j.get("max_factor")?.as_f64()?,
+            min_grow_share: j.get("min_grow_share")?.as_f64()?,
+            threshold,
+            top_off: j.get("top_off")?.as_bool()?,
+            divergent: j.get("divergent")?.as_bool()?,
+            average: AverageKind::from_json(j.get("average")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,10 +274,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let c = TuningConfig::paper();
-        let j = serde_json::to_string(&c).unwrap();
-        let c2: TuningConfig = serde_json::from_str(&j).unwrap();
-        assert_eq!(c, c2);
+    fn json_roundtrip() {
+        for c in [TuningConfig::paper(), TuningConfig::plain()] {
+            let text = c.to_json().render();
+            let c2 = TuningConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(c, c2);
+        }
     }
 }

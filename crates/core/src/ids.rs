@@ -6,13 +6,10 @@
 //! compact unique name (its little-endian bytes) while [`SetName`] lets
 //! callers use arbitrary byte strings (e.g. path names) instead.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a metadata server (cluster node).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct ServerId(pub u32);
 
 impl fmt::Display for ServerId {
@@ -32,9 +29,7 @@ impl From<u32> for ServerId {
 /// A file set is a subtree of the global namespace. The id's little-endian
 /// byte representation is used as the file set's unique name when hashing it
 /// into the unit interval.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct FileSetId(pub u64);
 
 impl fmt::Display for FileSetId {

@@ -10,23 +10,21 @@
 //! algorithm never needs it, because the half-occupancy invariant means the
 //! total mapped width is exactly [`HALF_UNIT`] = `2^63`.
 
-use serde::{Deserialize, Serialize};
+use crate::num;
 use std::fmt;
 
 /// Total mapped width under the half-occupancy invariant: half of `2^64`.
 pub const HALF_UNIT: u64 = 1 << 63;
 
 /// A position in the unit interval, as a 64-bit fixed-point fraction.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Pos(pub u64);
 
 impl Pos {
     /// The position as a floating-point fraction in `[0, 1)`.
     #[inline]
     pub fn as_fraction(self) -> f64 {
-        self.0 as f64 / 18_446_744_073_709_551_616.0 // 2^64
+        num::f64_of(self.0) / num::UNIT_WIDTH_F64
     }
 }
 
@@ -39,7 +37,7 @@ impl fmt::Display for Pos {
 /// Convert a width in fixed-point units to a fraction of the unit interval.
 #[inline]
 pub fn width_fraction(width: u64) -> f64 {
-    width as f64 / 18_446_744_073_709_551_616.0
+    num::f64_of(width) / num::UNIT_WIDTH_F64
 }
 
 /// Convert a fraction of *half* the interval (i.e. of the total mapped
@@ -48,10 +46,10 @@ pub fn width_fraction(width: u64) -> f64 {
 pub fn half_units(fraction_of_half: f64) -> u64 {
     debug_assert!(fraction_of_half.is_finite());
     let clamped = fraction_of_half.clamp(0.0, 1.0);
-    // `HALF_UNIT as f64` is exact (power of two); the product rounds to the
+    // `f64_of(HALF_UNIT)` is exact (power of two); the product rounds to the
     // nearest representable value, which is fine — exact sums are restored
     // by the largest-remainder pass in `shares`.
-    (clamped * HALF_UNIT as f64) as u64
+    num::trunc_u64(clamped * num::f64_of(HALF_UNIT))
 }
 
 /// A half-open segment `[start, start + len)` of the unit interval.
@@ -59,7 +57,7 @@ pub fn half_units(fraction_of_half: f64) -> u64 {
 /// Used to report region ownership changes so callers (and tests) can reason
 /// about exactly which parts of the interval changed hands during a
 /// reconfiguration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Segment {
     /// Inclusive start position.
     pub start: Pos,

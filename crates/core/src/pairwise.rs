@@ -27,11 +27,10 @@ use crate::hash::mix64;
 use crate::heuristics::TuningConfig;
 use crate::ids::ServerId;
 use crate::tuner::LoadReport;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How peers are matched each gossip round.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Matching {
     /// Most loaded paired with least loaded (diffusion pairing).
     HiLo,
@@ -82,7 +81,7 @@ impl PairwiseTuner {
             .collect();
         match self.matching {
             Matching::HiLo => {
-                order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 let n = order.len();
                 (0..n / 2)
                     .map(|i| (order[i].1, order[n - 1 - i].1))

@@ -27,11 +27,12 @@
 use crate::error::{AnuError, Result};
 use crate::ids::ServerId;
 use crate::interval::{Pos, Segment, HALF_UNIT};
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::num;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// State of one partition of the unit interval.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PartitionState {
     /// Unmapped; hashes landing here are re-hashed.
     Free,
@@ -47,7 +48,7 @@ pub enum PartitionState {
 }
 
 /// Per-server index of owned partitions.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerRegions {
     /// Indices of partitions fully owned by the server.
     pub fulls: BTreeSet<u32>,
@@ -58,13 +59,13 @@ pub struct ServerRegions {
 impl ServerRegions {
     /// Total mapped width of this server, given the partition width.
     pub fn share(&self, part_width: u64) -> u64 {
-        self.fulls.len() as u64 * part_width + self.partial.map_or(0, |(_, l)| l)
+        num::u64_of_usize(self.fulls.len()) * part_width + self.partial.map_or(0, |(_, l)| l)
     }
 }
 
 /// A single ownership change of a segment of the interval, produced by
 /// rescaling, membership changes, or failures.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RegionChange {
     /// The segment that changed hands.
     pub segment: Segment,
@@ -75,7 +76,7 @@ pub struct RegionChange {
 }
 
 /// Mapped regions of all servers over the partitioned unit interval.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartitionTable {
     log2_parts: u32,
     parts: Vec<PartitionState>,
@@ -97,14 +98,14 @@ impl PartitionTable {
             log2_parts,
             parts: vec![PartitionState::Free; n],
             regions: BTreeMap::new(),
-            free: (0..n as u32).collect(),
+            free: (0..num::u32_of_usize(n)).collect(),
         })
     }
 
     /// The minimum `log2_parts` for a cluster of `n` servers: the smallest
     /// power of two with at least `2n` partitions (paper §4).
     pub fn required_log2_parts(n_servers: usize) -> u32 {
-        let need = (2 * n_servers.max(1)) as u64;
+        let need = num::u64_of_usize(2 * n_servers.max(1));
         64 - (need - 1).leading_zeros().max(44) // ceil(log2(need)), clamped to 1..=20
     }
 
@@ -175,7 +176,7 @@ impl PartitionTable {
 
     /// State of partition `idx`.
     pub fn part(&self, idx: u32) -> PartitionState {
-        self.parts[idx as usize]
+        self.parts[num::usize_of_u32(idx)]
     }
 
     /// Register a new server with an empty mapped region.
@@ -205,7 +206,7 @@ impl PartitionTable {
     /// Which server (if any) owns position `p`?
     #[inline]
     pub fn lookup(&self, p: Pos) -> Option<ServerId> {
-        let idx = (p.0 >> (64 - self.log2_parts)) as usize;
+        let idx = num::usize_of(p.0 >> (64 - self.log2_parts));
         let offset = p.0 & (self.part_width() - 1);
         match self.parts[idx] {
             PartitionState::Free => None,
@@ -217,7 +218,7 @@ impl PartitionTable {
     /// Absolute start position of partition `idx`.
     #[inline]
     fn part_start(&self, idx: u32) -> Pos {
-        Pos((idx as u64) << (64 - self.log2_parts))
+        Pos(u64::from(idx) << (64 - self.log2_parts))
     }
 
     fn seg(&self, idx: u32, from_off: u64, to_off: u64) -> Segment {
@@ -249,11 +250,11 @@ impl PartitionTable {
                 let new_len = len - cut;
                 if new_len == 0 {
                     reg.partial = None;
-                    self.parts[p as usize] = PartitionState::Free;
+                    self.parts[num::usize_of_u32(p)] = PartitionState::Free;
                     self.free.insert(p);
                 } else {
                     reg.partial = Some((p, new_len));
-                    self.parts[p as usize] = PartitionState::Partial {
+                    self.parts[num::usize_of_u32(p)] = PartitionState::Partial {
                         server: s,
                         len: new_len,
                     };
@@ -269,13 +270,14 @@ impl PartitionTable {
 
         // Phase 2: release or demote full partitions, highest index first.
         while remaining > 0 {
+            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
             let reg = self.regions.get_mut(&s).expect("checked above");
             let Some(&p) = reg.fulls.iter().next_back() else {
                 break; // share exhausted (clipped by `min` above)
             };
             reg.fulls.remove(&p);
             if remaining >= w {
-                self.parts[p as usize] = PartitionState::Free;
+                self.parts[num::usize_of_u32(p)] = PartitionState::Free;
                 self.free.insert(p);
                 remaining -= w;
                 changes.push(RegionChange {
@@ -287,7 +289,7 @@ impl PartitionTable {
                 let new_len = w - remaining;
                 debug_assert!(reg.partial.is_none(), "partial was drained in phase 1");
                 reg.partial = Some((p, new_len));
-                self.parts[p as usize] = PartitionState::Partial {
+                self.parts[num::usize_of_u32(p)] = PartitionState::Partial {
                     server: s,
                     len: new_len,
                 };
@@ -319,6 +321,7 @@ impl PartitionTable {
 
         // Phase 1: extend the existing partial toward the partition end.
         {
+            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
             let reg = self.regions.get_mut(&s).expect("checked");
             if let Some((p, len)) = reg.partial {
                 let add = remaining.min(w - len);
@@ -327,10 +330,10 @@ impl PartitionTable {
                     if new_len == w {
                         reg.partial = None;
                         reg.fulls.insert(p);
-                        self.parts[p as usize] = PartitionState::Full(s);
+                        self.parts[num::usize_of_u32(p)] = PartitionState::Full(s);
                     } else {
                         reg.partial = Some((p, new_len));
-                        self.parts[p as usize] = PartitionState::Partial {
+                        self.parts[num::usize_of_u32(p)] = PartitionState::Partial {
                             server: s,
                             len: new_len,
                         };
@@ -351,7 +354,8 @@ impl PartitionTable {
                 return Err(AnuError::NoFreePartition);
             };
             self.free.remove(&p);
-            self.parts[p as usize] = PartitionState::Full(s);
+            self.parts[num::usize_of_u32(p)] = PartitionState::Full(s);
+            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
             self.regions.get_mut(&s).expect("checked").fulls.insert(p);
             remaining -= w;
             changes.push(RegionChange {
@@ -367,10 +371,11 @@ impl PartitionTable {
                 return Err(AnuError::NoFreePartition);
             };
             self.free.remove(&p);
-            self.parts[p as usize] = PartitionState::Partial {
+            self.parts[num::usize_of_u32(p)] = PartitionState::Partial {
                 server: s,
                 len: remaining,
             };
+            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
             let reg = self.regions.get_mut(&s).expect("checked");
             debug_assert!(reg.partial.is_none(), "phase 1 drained or promoted it");
             reg.partial = Some((p, remaining));
@@ -428,7 +433,7 @@ impl PartitionTable {
         let reg = self.regions.remove(&s).ok_or(AnuError::UnknownServer(s))?;
         let freed = reg.share(w);
         for p in reg.fulls {
-            self.parts[p as usize] = PartitionState::Free;
+            self.parts[num::usize_of_u32(p)] = PartitionState::Free;
             self.free.insert(p);
             changes.push(RegionChange {
                 segment: self.seg(p, 0, w),
@@ -437,7 +442,7 @@ impl PartitionTable {
             });
         }
         if let Some((p, len)) = reg.partial {
-            self.parts[p as usize] = PartitionState::Free;
+            self.parts[num::usize_of_u32(p)] = PartitionState::Free;
             self.free.insert(p);
             changes.push(RegionChange {
                 segment: self.seg(p, 0, len),
@@ -470,6 +475,7 @@ impl PartitionTable {
         if self.regions.len() <= 1 {
             return Err(AnuError::EmptyCluster);
         }
+        // anu-lint: allow(panic) -- membership checked two lines up
         let reg = self.regions.remove(&s).expect("checked");
         let removed_share = reg.share(w);
 
@@ -484,9 +490,9 @@ impl PartitionTable {
             .regions
             .iter()
             .map(|(&id, r)| {
-                let cur = r.share(w) as f64;
-                let target =
-                    cur * (surviving_total + removed_share) as f64 / surviving_total as f64;
+                let cur = num::f64_of(r.share(w));
+                let target = cur * num::f64_of(surviving_total + removed_share)
+                    / num::f64_of(surviving_total);
                 (id, target - cur)
             })
             .collect();
@@ -495,12 +501,14 @@ impl PartitionTable {
             // Hand partition `p` to the survivor with the largest deficit.
             let (&taker, _) = deficits
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+                .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+                // anu-lint: allow(panic) -- entry check guarantees >= 1 survivor
                 .expect("at least one survivor");
-            *deficits.get_mut(&taker).unwrap() -= w as f64;
-            self.parts[p as usize] = PartitionState::Full(taker);
+            *deficits.entry(taker).or_insert(0.0) -= num::f64_of(w);
+            self.parts[num::usize_of_u32(p)] = PartitionState::Full(taker);
             self.regions
                 .get_mut(&taker)
+                // anu-lint: allow(panic) -- taker drawn from the survivors' deficit map
                 .expect("survivor registered")
                 .fulls
                 .insert(p);
@@ -512,7 +520,7 @@ impl PartitionTable {
         }
         let mut unmapped = 0;
         if let Some((p, len)) = reg.partial {
-            self.parts[p as usize] = PartitionState::Free;
+            self.parts[num::usize_of_u32(p)] = PartitionState::Free;
             self.free.insert(p);
             unmapped = len;
             changes.push(RegionChange {
@@ -551,12 +559,15 @@ impl PartitionTable {
                 .max_by(|a, b| a.1.share(w).cmp(&b.1.share(w)).then(b.0.cmp(a.0)))
                 .map(|(&id, _)| id);
             let Some(donor) = donor else { break };
+            // anu-lint: allow(panic) -- donor selected from `self.regions` just above
             let reg = self.regions.get_mut(&donor).expect("donor exists");
+            // anu-lint: allow(panic) -- donor filter requires a non-empty full set
             let p = *reg.fulls.iter().next_back().expect("non-empty fulls");
             reg.fulls.remove(&p);
-            self.parts[p as usize] = PartitionState::Full(to);
+            self.parts[num::usize_of_u32(p)] = PartitionState::Full(to);
             self.regions
                 .get_mut(&to)
+                // anu-lint: allow(panic) -- `to` was validated at entry (UnknownServer)
                 .expect("receiver registered")
                 .fulls
                 .insert(p);
@@ -618,7 +629,7 @@ impl PartitionTable {
             reg.partial = None;
         }
         for (i, &p) in self.parts.iter().enumerate() {
-            let i = i as u32;
+            let i = num::u32_of_usize(i);
             match p {
                 PartitionState::Free => {
                     self.free.insert(i);
@@ -626,11 +637,13 @@ impl PartitionTable {
                 PartitionState::Full(s) => {
                     self.regions
                         .get_mut(&s)
+                        // anu-lint: allow(panic) -- partitions only reference registered servers
                         .expect("known server")
                         .fulls
                         .insert(i);
                 }
                 PartitionState::Partial { server, len } => {
+                    // anu-lint: allow(panic) -- partitions only reference registered servers
                     let reg = self.regions.get_mut(&server).expect("known server");
                     debug_assert!(reg.partial.is_none());
                     reg.partial = Some((i, len));
@@ -656,7 +669,8 @@ impl PartitionTable {
             out.push('|');
             for c in 0..cells {
                 // Sample the midpoint of the c-th cell of this partition.
-                let off = (w / cells as u64) * c as u64 + w / (2 * cells as u64);
+                let off = (w / num::u64_of_usize(cells)) * num::u64_of_usize(c)
+                    + w / (2 * num::u64_of_usize(cells));
                 let ch = match *p {
                     PartitionState::Free => '.',
                     PartitionState::Full(s) => id_char(s),
@@ -694,7 +708,7 @@ impl PartitionTable {
         let w = self.part_width();
         let mut seen_free = BTreeSet::new();
         for (i, &p) in self.parts.iter().enumerate() {
-            let i = i as u32;
+            let i = num::u32_of_usize(i);
             match p {
                 PartitionState::Free => {
                     if !self.free.contains(&i) {
@@ -730,12 +744,13 @@ impl PartitionTable {
         }
         for (s, reg) in &self.regions {
             for &p in &reg.fulls {
-                if self.parts[p as usize] != PartitionState::Full(*s) {
+                if self.parts[num::usize_of_u32(p)] != PartitionState::Full(*s) {
                     return Err(format!("{s} claims full {p} but partition disagrees"));
                 }
             }
             if let Some((p, len)) = reg.partial {
-                if (self.parts[p as usize] != PartitionState::Partial { server: *s, len }) {
+                if (self.parts[num::usize_of_u32(p)] != PartitionState::Partial { server: *s, len })
+                {
                     return Err(format!("{s} claims partial {p} but partition disagrees"));
                 }
             }
@@ -744,9 +759,89 @@ impl PartitionTable {
     }
 }
 
+impl ToJson for PartitionTable {
+    fn to_json(&self) -> Json {
+        // Servers are listed explicitly so zero-share servers survive the
+        // round trip; partitions encode as null (free), {"s": id} (full) or
+        // {"s": id, "len": l} (partial). The per-server and free indexes
+        // are derived state and are rebuilt on load.
+        let servers = Json::arr(self.servers().map(|s| Json::u32(s.0)).collect());
+        let parts = Json::arr(
+            self.parts
+                .iter()
+                .map(|p| match *p {
+                    PartitionState::Free => Json::Null,
+                    PartitionState::Full(s) => Json::obj(vec![("s", Json::u32(s.0))]),
+                    PartitionState::Partial { server, len } => {
+                        Json::obj(vec![("s", Json::u32(server.0)), ("len", Json::u64(len))])
+                    }
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("log2_parts", Json::u32(self.log2_parts)),
+            ("servers", servers),
+            ("parts", parts),
+        ])
+    }
+}
+
+impl FromJson for PartitionTable {
+    fn from_json(j: &Json) -> std::result::Result<Self, JsonError> {
+        let log2_parts = j.get("log2_parts")?.as_u32()?;
+        let mut table = PartitionTable::new(log2_parts)
+            .map_err(|e| JsonError::shape(format!("bad partition table: {e}")))?;
+        for s in j.get("servers")?.as_arr()? {
+            let id = ServerId(s.as_u32()?);
+            table
+                .register_server(id)
+                .map_err(|e| JsonError::shape(format!("bad server list: {e}")))?;
+        }
+        let parts = j.get("parts")?.as_arr()?;
+        if parts.len() != table.parts.len() {
+            return Err(JsonError::shape(format!(
+                "expected {} partitions, got {}",
+                table.parts.len(),
+                parts.len()
+            )));
+        }
+        let width = table.part_width();
+        for (i, p) in parts.iter().enumerate() {
+            if p.is_null() {
+                continue;
+            }
+            let server = ServerId(p.get("s")?.as_u32()?);
+            let reg = table
+                .regions
+                .get_mut(&server)
+                .ok_or_else(|| JsonError::shape(format!("partition owned by unlisted {server}")))?;
+            let idx = u32::try_from(i).map_err(|_| JsonError::shape("partition index overflow"))?;
+            match p.get("len") {
+                Err(_) => {
+                    table.parts[i] = PartitionState::Full(server);
+                    reg.fulls.insert(idx);
+                }
+                Ok(l) => {
+                    let len = l.as_u64()?;
+                    if len == 0 || len >= width || reg.partial.is_some() {
+                        return Err(JsonError::shape(format!(
+                            "invalid partial partition {i} for {server}"
+                        )));
+                    }
+                    table.parts[i] = PartitionState::Partial { server, len };
+                    reg.partial = Some((idx, len));
+                }
+            }
+            table.free.remove(&idx);
+        }
+        table.check_invariants_shape().map_err(JsonError::shape)?;
+        Ok(table)
+    }
+}
+
 /// Last hex digit of a server id, for [`PartitionTable::render`].
 fn id_char(s: ServerId) -> char {
-    char::from_digit(s.0 % 16, 16).expect("mod 16 is a hex digit")
+    char::from_digit(s.0 % 16, 16).unwrap_or('?')
 }
 
 #[cfg(test)]

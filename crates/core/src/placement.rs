@@ -10,9 +10,10 @@ use crate::error::{AnuError, Result};
 use crate::hash::HashFamily;
 use crate::ids::ServerId;
 use crate::interval::HALF_UNIT;
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::num;
 use crate::partition::{PartitionTable, RegionChange};
 use crate::shares;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Default number of re-hash rounds before the direct-to-server fallback.
@@ -32,7 +33,7 @@ pub struct Placement {
 
 /// The complete, replicated placement state: a seeded hash family plus the
 /// servers' mapped regions over the partitioned unit interval.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PlacementMap {
     table: PartitionTable,
     hasher: HashFamily,
@@ -136,7 +137,7 @@ impl PlacementMap {
             return Err(AnuError::DuplicateServer(s));
         }
         let n_after = self.table.num_servers() + 1;
-        while (self.table.num_parts() as u64) < 2 * n_after as u64 {
+        while num::u64_of_usize(self.table.num_parts()) < 2 * num::u64_of_usize(n_after) {
             self.table.repartition_double()?;
         }
         self.table.register_server(s)?;
@@ -144,9 +145,15 @@ impl PlacementMap {
         let old = self.table.shares();
         let mut weights: BTreeMap<ServerId, f64> = old
             .iter()
-            .map(|(&id, &sh)| (id, sh as f64 * (n_after as f64 - 1.0) / n_after as f64))
+            .map(|(&id, &sh)| {
+                (
+                    id,
+                    num::f64_of(sh) * (num::f64_of_usize(n_after) - 1.0)
+                        / num::f64_of_usize(n_after),
+                )
+            })
             .collect();
-        weights.insert(s, HALF_UNIT as f64 / n_after as f64);
+        weights.insert(s, num::f64_of(HALF_UNIT) / num::f64_of_usize(n_after));
         let targets = shares::normalize_targets(&weights);
         self.table.rebalance(&targets)
     }
@@ -170,13 +177,13 @@ impl PlacementMap {
             return Err(AnuError::DuplicateServer(s));
         }
         let n_after = self.table.num_servers() + 1;
-        while (self.table.num_parts() as u64) < 2 * n_after as u64 {
+        while num::u64_of_usize(self.table.num_parts()) < 2 * num::u64_of_usize(n_after) {
             self.table.repartition_double()?;
         }
         self.table.register_server(s)?;
         let w = self.table.part_width();
-        let fair = HALF_UNIT as f64 / n_after as f64;
-        let parts_to_take = ((fair / w as f64).round() as usize).max(1);
+        let fair = num::f64_of(HALF_UNIT) / num::f64_of_usize(n_after);
+        let parts_to_take = num::round_usize(fair / num::f64_of(w)).max(1);
         let changes = self.table.take_full_partitions(s, parts_to_take)?;
         debug_assert!(self.table.check_invariants_shape().is_ok());
         Ok(changes)
@@ -215,8 +222,9 @@ impl PlacementMap {
             return Ok(Vec::new());
         }
         let cur = self.table.shares();
-        let targets =
-            shares::normalize_targets(&cur.iter().map(|(&id, &sh)| (id, sh as f64)).collect());
+        let targets = shares::normalize_targets(
+            &cur.iter().map(|(&id, &sh)| (id, num::f64_of(sh))).collect(),
+        );
         self.table.rebalance(&targets)
     }
 
@@ -238,7 +246,7 @@ impl PlacementMap {
     /// Fraction of the unit interval currently mapped (0.5 in steady state;
     /// transiently less than one partition width below after a failure).
     pub fn mapped_fraction(&self) -> f64 {
-        self.table.total_share() as f64 / (2.0 * HALF_UNIT as f64)
+        num::f64_of(self.table.total_share()) / (2.0 * num::f64_of(HALF_UNIT))
     }
 
     /// Validate internal invariants (for tests/debugging): structural shape
@@ -254,6 +262,24 @@ impl PlacementMap {
             ));
         }
         Ok(())
+    }
+}
+
+impl ToJson for PlacementMap {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("table", self.table.to_json()),
+            ("hasher", self.hasher.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PlacementMap {
+    fn from_json(j: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(PlacementMap {
+            table: PartitionTable::from_json(j.get("table")?)?,
+            hasher: HashFamily::from_json(j.get("hasher")?)?,
+        })
     }
 }
 
@@ -370,7 +396,7 @@ mod tests {
             let now = m.locate(n);
             assert_ne!(now, ServerId(2));
             if before[n] != ServerId(2) {
-                assert_eq!(now, before[n], "set not on failed server moved: {:?}", n);
+                assert_eq!(now, before[n], "set not on failed server moved: {n:?}");
             }
         }
     }
@@ -521,12 +547,27 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let m = PlacementMap::new(&ids(3), 77, 8).unwrap();
-        let json = serde_json::to_string(&m).unwrap();
-        let m2: PlacementMap = serde_json::from_str(&json).unwrap();
+        let text = m.to_json().render();
+        let m2 = PlacementMap::from_json(&Json::parse(&text).unwrap()).unwrap();
         for n in names(500) {
             assert_eq!(m.locate(n), m2.locate(n));
         }
+        assert_eq!(m2.to_json().render(), text);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_skewed_shares() {
+        // Partials and zero-share servers must survive the round trip.
+        let mut m = PlacementMap::new(&ids(3), 5, 8).unwrap();
+        let mut w = BTreeMap::new();
+        w.insert(ServerId(0), 0.0);
+        w.insert(ServerId(1), 1.0);
+        w.insert(ServerId(2), 3.0);
+        m.rebalance(&w).unwrap();
+        let m2 = PlacementMap::from_json(&Json::parse(&m.to_json().render()).unwrap()).unwrap();
+        assert_eq!(m2.table().shares(), m.table().shares());
+        assert_eq!(m2.num_servers(), 3);
     }
 }

@@ -8,13 +8,14 @@
 
 use crate::ids::ServerId;
 use crate::interval::HALF_UNIT;
+use crate::num;
 use std::collections::BTreeMap;
 
 /// Equal fixed-point shares for `servers`, summing to exactly
 /// [`HALF_UNIT`]. Remainder units go to the lowest-id servers.
 pub fn equal_targets(servers: &[ServerId]) -> BTreeMap<ServerId, u64> {
     assert!(!servers.is_empty(), "equal_targets of empty server list");
-    let n = servers.len() as u64;
+    let n = num::u64_of_usize(servers.len());
     let base = HALF_UNIT / n;
     let extra = HALF_UNIT % n;
     let mut sorted: Vec<ServerId> = servers.to_vec();
@@ -24,7 +25,7 @@ pub fn equal_targets(servers: &[ServerId]) -> BTreeMap<ServerId, u64> {
     sorted
         .into_iter()
         .enumerate()
-        .map(|(i, s)| (s, base + u64::from((i as u64) < extra)))
+        .map(|(i, s)| (s, base + u64::from(num::u64_of_usize(i) < extra)))
         .collect()
 }
 
@@ -51,10 +52,10 @@ pub fn normalize_targets(weights: &BTreeMap<ServerId, f64>) -> BTreeMap<ServerId
     let mut remainders: Vec<(f64, ServerId)> = Vec::with_capacity(clean.len());
     let mut assigned: u64 = 0;
     for (s, w) in &clean {
-        let exact = (w / total) * HALF_UNIT as f64;
-        let floor = exact.floor().min(HALF_UNIT as f64).max(0.0) as u64;
+        let exact = (w / total) * num::f64_of(HALF_UNIT);
+        let floor = num::trunc_u64(exact.floor().min(num::f64_of(HALF_UNIT)).max(0.0));
         assigned += floor;
-        remainders.push((exact - floor as f64, *s));
+        remainders.push((exact - num::f64_of(floor), *s));
         out.insert(*s, floor);
     }
 
@@ -64,12 +65,14 @@ pub fn normalize_targets(weights: &BTreeMap<ServerId, f64>) -> BTreeMap<ServerId
     // any excess from the largest shares.
     if assigned <= HALF_UNIT {
         let mut leftover = HALF_UNIT - assigned;
-        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut i = 0;
         while leftover > 0 {
             let (_, s) = remainders[i % remainders.len()];
-            let give = (leftover / remainders.len() as u64).max(1).min(leftover);
-            *out.get_mut(&s).unwrap() += give;
+            let give = (leftover / num::u64_of_usize(remainders.len()))
+                .max(1)
+                .min(leftover);
+            *out.entry(s).or_insert(0) += give;
             leftover -= give;
             i += 1;
         }
@@ -80,7 +83,7 @@ pub fn normalize_targets(weights: &BTreeMap<ServerId, f64>) -> BTreeMap<ServerId
         let mut i = 0;
         while excess > 0 {
             let s = order[i % order.len()];
-            let v = out.get_mut(&s).unwrap();
+            let v = out.entry(s).or_insert(0);
             let take = excess.min(*v);
             *v -= take;
             excess -= take;
@@ -95,7 +98,7 @@ pub fn normalize_targets(weights: &BTreeMap<ServerId, f64>) -> BTreeMap<ServerId
 pub fn as_fractions(shares: &BTreeMap<ServerId, u64>) -> BTreeMap<ServerId, f64> {
     shares
         .iter()
-        .map(|(&s, &v)| (s, v as f64 / HALF_UNIT as f64))
+        .map(|(&s, &v)| (s, num::f64_of(v) / num::f64_of(HALF_UNIT)))
         .collect()
 }
 

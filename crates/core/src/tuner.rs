@@ -15,7 +15,6 @@
 
 use crate::heuristics::{AverageKind, TuningConfig};
 use crate::ids::ServerId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One server's performance report for the last tuning interval.
@@ -24,7 +23,7 @@ use std::collections::BTreeMap;
 /// short-lived transactions with low service-time variance, so request
 /// latency tracks load directly (paper §2). A server that completed no
 /// requests reports zero latency.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct LoadReport {
     /// Reporting server.
     pub server: ServerId,
@@ -154,7 +153,7 @@ impl Tuner {
                     return None;
                 }
                 let mut lats: Vec<f64> = reports.iter().map(|r| r.mean_latency_ms).collect();
-                lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                lats.sort_by(f64::total_cmp);
                 let n = lats.len();
                 Some(if n % 2 == 1 {
                     lats[n / 2]

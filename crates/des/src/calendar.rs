@@ -10,7 +10,7 @@
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::binary_heap::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Handle to a scheduled event, usable to cancel it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -54,7 +54,7 @@ pub struct Calendar<E> {
     now: SimTime,
     next_seq: u64,
     /// Seqs scheduled and neither fired nor cancelled.
-    live: HashSet<u64>,
+    live: BTreeSet<u64>,
     scheduled: u64,
     fired: u64,
 }
@@ -72,7 +72,7 @@ impl<E> Calendar<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            live: HashSet::new(),
+            live: BTreeSet::new(),
             scheduled: 0,
             fired: 0,
         }

@@ -5,16 +5,29 @@
 //! stream label, so adding a new random component never perturbs the draws
 //! of existing ones (common random numbers across policy comparisons).
 //!
+//! The generator is an in-repo xoshiro256++ (Blackman & Vigna), seeded via
+//! SplitMix64. Carrying the generator in-tree — instead of depending on an
+//! external RNG crate — pins the exact draw sequence: results are
+//! bit-for-bit reproducible across machines, toolchains, and dependency
+//! upgrades, which the whole evaluation methodology relies on.
+//!
 //! Samplers for the exponential, Zipf, Pareto and discrete distributions
-//! are implemented on top of plain `rand` uniforms — no extra dependency.
+//! are implemented on top of the raw uniforms — no extra dependency.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A deterministic random stream.
+/// A deterministic random stream (xoshiro256++ with SplitMix64 seeding).
 #[derive(Clone, Debug)]
 pub struct RngStream {
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step used for seeding: advances `x` and returns the output.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RngStream {
@@ -22,30 +35,26 @@ impl RngStream {
     /// label keeps streams independent: `(seed, "arrivals")` and
     /// `(seed, "costs")` never share draws.
     pub fn new(seed: u64, label: &str) -> Self {
-        // Mix the label into the seed with FNV-1a, then expand to 32 bytes.
+        // Mix the label into the seed with FNV-1a, then expand to the
+        // four xoshiro words with SplitMix64 (the seeding procedure the
+        // xoshiro authors recommend).
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
         for &b in label.as_bytes() {
-            h ^= b as u64;
+            h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let mut bytes = [0u8; 32];
-        let mut state = h;
-        for chunk in bytes.chunks_exact_mut(8) {
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            chunk.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            *w = splitmix64(&mut h);
         }
-        RngStream {
-            rng: StdRng::from_seed(bytes),
-        }
+        RngStream { state }
     }
 
     /// Uniform draw in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 high bits -> the unit interval; exact and bias-free.
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0) // 2^-53
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -59,13 +68,24 @@ impl RngStream {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.rng.gen_range(0..n)
+        // Multiply-shift reduction (Lemire); for the n used in simulations
+        // (n << 2^64) the bias is negligible and the mapping deterministic.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
-    /// Raw 64-bit draw.
+    /// Raw 64-bit draw (xoshiro256++ output function).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Exponential draw with the given rate (mean `1/rate`), via inverse
@@ -92,6 +112,7 @@ impl RngStream {
     /// weights (strictly increasing, last element = total). `O(log n)`.
     pub fn discrete_cdf(&mut self, cumulative: &[f64]) -> usize {
         debug_assert!(!cumulative.is_empty());
+        // anu-lint: allow(panic) -- an empty CDF is a caller bug (debug-asserted above)
         let total = *cumulative.last().expect("non-empty");
         debug_assert!(total > 0.0);
         let x = self.uniform() * total;
@@ -137,6 +158,7 @@ impl Zipf {
 
     /// The probability of rank `k` (0-based).
     pub fn prob(&self, k: usize) -> f64 {
+        // anu-lint: allow(panic) -- the constructor rejects empty weight vectors
         let total = *self.cdf.last().expect("non-empty");
         let prev = if k == 0 { 0.0 } else { self.cdf[k - 1] };
         (self.cdf[k] - prev) / total

@@ -114,6 +114,7 @@ impl<M> FifoStation<M> {
         let job = self
             .in_service
             .take()
+            // anu-lint: allow(panic) -- a Complete event is only scheduled while a job is in service
             .expect("completion event for idle station");
         self.busy += now.since(self.service_start);
         self.completed += 1;

@@ -2,19 +2,18 @@
 //!
 //! An [`Experiment`] pairs one workload + cluster with a list of labelled
 //! policies; running it produces one [`RunResult`] per policy. Policies run
-//! in parallel (crossbeam scoped threads) since each simulation is
-//! independent and deterministic.
+//! in parallel (std scoped threads) since each simulation is independent
+//! and deterministic.
 
 use anu_cluster::{ClusterConfig, PlacementPolicy, RunResult};
 use anu_core::{AnuConfig, Matching, ServerId, TuningConfig};
 use anu_des::SimDuration;
 use anu_policies::{AnuPolicy, Prescient, Rendezvous, RoundRobin, SimpleRandom};
 use anu_workload::Workload;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How far the prescient oracle looks ahead.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PrescientWindow {
     /// One tuning interval — tracks workload shifts (trace experiments).
     Tick,
@@ -25,7 +24,7 @@ pub enum PrescientWindow {
 }
 
 /// Factory description of a policy, buildable per run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum PolicyKind {
     /// Static hash-random placement.
     SimpleRandom,
@@ -119,7 +118,7 @@ impl Experiment {
     pub fn run_all(&self) -> Vec<RunResult> {
         let mut out: Vec<Option<RunResult>> = Vec::new();
         out.resize_with(self.policies.len(), || None);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, (label, kind)) in self.policies.iter().enumerate() {
                 let cluster = &self.cluster;
@@ -127,7 +126,7 @@ impl Experiment {
                 let seed = self.seed;
                 handles.push((
                     i,
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut policy = kind.build(cluster, workload, seed);
                         let mut r = anu_cluster::run(cluster, workload, policy.as_mut());
                         r.policy = label.clone();
@@ -136,10 +135,11 @@ impl Experiment {
                 ));
             }
             for (i, h) in handles {
+                // anu-lint: allow(panic) -- propagate a worker panic instead of reporting partial results
                 out[i] = Some(h.join().expect("simulation thread panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
+        // anu-lint: allow(panic) -- the join loop above fills every slot
         out.into_iter().map(|r| r.expect("filled")).collect()
     }
 

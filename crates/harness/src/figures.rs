@@ -216,6 +216,7 @@ fn find<'a>(results: &'a [RunResult], label: &str) -> &'a RunResult {
     results
         .iter()
         .find(|r| r.policy == label)
+        // anu-lint: allow(panic) -- figure definitions name only policies they themselves run
         .unwrap_or_else(|| panic!("no result labelled {label}"))
 }
 
@@ -303,6 +304,7 @@ pub fn check_closeup(results: &[RunResult], tick_buckets: usize) -> Vec<ShapeChe
         max - min
     };
     let early = tick_buckets * 3;
+    // anu-lint: allow(panic) -- runs always record at least one server series
     let n_buckets = anu.series.values().next().expect("servers").buckets().len();
     let anu_early = spread(anu, 0, early);
     let anu_late = spread(anu, n_buckets / 2, n_buckets);

@@ -10,9 +10,9 @@ use std::path::Path;
 pub fn series_table(result: &RunResult) -> String {
     let mut out = String::new();
     let servers: Vec<_> = result.series.keys().copied().collect();
-    write!(out, "# {} on {}\nmin", result.policy, result.workload).unwrap();
+    write!(out, "# {} on {}\nmin", result.policy, result.workload).ok();
     for s in &servers {
-        write!(out, " {s:>9}").unwrap();
+        write!(out, " {s:>9}").ok();
     }
     out.push('\n');
     let n = result
@@ -22,10 +22,10 @@ pub fn series_table(result: &RunResult) -> String {
         .max()
         .unwrap_or(0);
     for i in 0..n {
-        write!(out, "{i:>3}").unwrap();
+        write!(out, "{i:>3}").ok();
         for s in &servers {
             let b = &result.series[s].buckets()[i];
-            write!(out, " {:>9.1}", b.mean()).unwrap();
+            write!(out, " {:>9.1}", b.mean()).ok();
         }
         out.push('\n');
     }
@@ -40,7 +40,7 @@ pub fn summary_table(results: &[RunResult]) -> String {
         "{:<22} {:>10} {:>10} {:>10} {:>10} {:>7}",
         "policy", "mean ms", "late ms", "max ms", "imb CoV", "moves"
     )
-    .unwrap();
+    .ok();
     for r in results {
         writeln!(
             out,
@@ -52,7 +52,7 @@ pub fn summary_table(results: &[RunResult]) -> String {
             late_imbalance(&r.series),
             r.summary.migrations
         )
-        .unwrap();
+        .ok();
     }
     out
 }
@@ -70,11 +70,11 @@ pub fn summary_table(results: &[RunResult]) -> String {
 pub fn sparklines(result: &RunResult) -> String {
     const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let mut out = String::new();
-    writeln!(out, "# {} on {}", result.policy, result.workload).unwrap();
+    writeln!(out, "# {} on {}", result.policy, result.workload).ok();
     for (s, ts) in &result.series {
         let means: Vec<f64> = ts.means().map(|(_, m)| m).collect();
         let peak = means.iter().cloned().fold(0.0f64, f64::max);
-        write!(out, "{s:>4} ").unwrap();
+        write!(out, "{s:>4} ").ok();
         for m in &means {
             let idx = if peak <= 0.0 {
                 0
@@ -83,7 +83,7 @@ pub fn sparklines(result: &RunResult) -> String {
             };
             out.push(RAMP[idx.min(RAMP.len() - 1)]);
         }
-        writeln!(out, "  (peak {peak:.1} ms)").unwrap();
+        writeln!(out, "  (peak {peak:.1} ms)").ok();
     }
     out
 }

@@ -119,6 +119,7 @@ impl PlacementPolicy for AnuPolicy {
     fn initial(&mut self, view: &ClusterView, file_sets: &[FileSetId]) -> Assignment {
         let alive = view.alive();
         let map = PlacementMap::new(&alive, self.cfg.seed, self.cfg.rounds)
+            // anu-lint: allow(panic) -- the simulator never calls initial on an empty cluster
             .expect("at least one alive server");
         self.file_sets = file_sets.to_vec();
         let assignment = Self::target_assignment(&map, file_sets);
@@ -138,14 +139,17 @@ impl PlacementPolicy for AnuPolicy {
                 self.planner.forget();
             }
         }
+        // anu-lint: allow(panic) -- the policy contract runs initial before any tick
         let map = self.map.as_mut().expect("initial ran");
         // Failures may have left occupancy below half; restore before
         // tuning so the tuner sees a normalized configuration.
+        // anu-lint: allow(panic) -- fails only on invariant corruption; halting is correct
         map.restore_half_occupancy().expect("restore succeeds");
         let shares = map.share_fractions();
         let Some(targets) = self.planner.plan_shares(&shares, reports) else {
             return Vec::new(); // balanced within the heuristics' tolerance
         };
+        // anu-lint: allow(panic) -- targets come from normalize_targets over the mapped servers
         map.rebalance(&targets).expect("valid targets");
         let target = Self::target_assignment(map, &self.file_sets);
         let moves = diff_moves(assignment, &target);
@@ -161,7 +165,9 @@ impl PlacementPolicy for AnuPolicy {
         failed: ServerId,
         assignment: &Assignment,
     ) -> Vec<MoveSet> {
+        // anu-lint: allow(panic) -- the policy contract runs initial before any failure event
         let map = self.map.as_mut().expect("initial ran");
+        // anu-lint: allow(panic) -- the view only reports failures of mapped servers
         map.remove_server(failed).expect("failed server was mapped");
         let target = Self::target_assignment(map, &self.file_sets);
         diff_moves(assignment, &target)
@@ -173,7 +179,9 @@ impl PlacementPolicy for AnuPolicy {
         recovered: ServerId,
         assignment: &Assignment,
     ) -> Vec<MoveSet> {
+        // anu-lint: allow(panic) -- the policy contract runs initial before any recovery event
         let map = self.map.as_mut().expect("initial ran");
+        // anu-lint: allow(panic) -- a recovering server was removed from the map when it failed
         map.add_server(recovered).expect("server was absent");
         let target = Self::target_assignment(map, &self.file_sets);
         diff_moves(assignment, &target)

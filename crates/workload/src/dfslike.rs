@@ -27,10 +27,9 @@ use crate::synthetic::{apportion, CostModel};
 use crate::weights::WeightDist;
 use anu_core::FileSetId;
 use anu_des::{RngStream, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A multiplicative burst window on one file set's arrival intensity.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Burst {
     /// Start, as a fraction of the trace duration.
     pub start_frac: f64,
@@ -41,7 +40,7 @@ pub struct Burst {
 }
 
 /// Configuration of the DFSTrace-like generator.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DfsLikeConfig {
     /// Number of file sets (paper: 21).
     pub n_file_sets: usize,
@@ -167,7 +166,7 @@ impl IntensitySampler {
             edges.push(b.start_frac * duration);
             edges.push(b.end_frac * duration);
         }
-        edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        edges.sort_by(f64::total_cmp);
         edges.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
         let mut cum = Vec::with_capacity(edges.len() - 1);
@@ -187,6 +186,7 @@ impl IntensitySampler {
     }
 
     fn sample(&self, rng: &mut RngStream) -> f64 {
+        // anu-lint: allow(panic) -- the constructor always emits at least one piece
         let total = *self.cum.last().expect("at least one piece");
         let x = rng.uniform() * total;
         let i = self

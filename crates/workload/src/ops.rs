@@ -10,10 +10,9 @@
 //! experimentation.
 
 use anu_des::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// A metadata operation kind.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OpKind {
     /// Name lookup within a directory.
     Lookup,
@@ -42,7 +41,7 @@ impl OpKind {
 }
 
 /// Named operation mixes (frequency, relative cost) per [`OpKind`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OpMix {
     /// A general-purpose file-serving mix: lookup/stat dominated, few
     /// creates and removes — the profile of the DFSTrace workstation

@@ -6,12 +6,12 @@
 //! this one representation, and all policies consume it — the prescient
 //! baseline additionally reads future windows of it as its oracle.
 
+use anu_core::json::{FromJson, Json, JsonError, ToJson};
 use anu_core::FileSetId;
 use anu_des::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One metadata request.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Request {
     /// Arrival time.
     pub arrival: SimTime,
@@ -22,7 +22,7 @@ pub struct Request {
 }
 
 /// A complete workload: requests sorted by arrival time.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Workload {
     /// Human-readable provenance ("synthetic α=1000", "dfstrace-like", …).
     pub label: String,
@@ -179,7 +179,7 @@ impl Workload {
 }
 
 /// Aggregate statistics of a workload.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadStats {
     /// Total number of requests.
     pub total_requests: u64,
@@ -198,6 +198,58 @@ pub struct WorkloadStats {
     pub total_demand_secs: f64,
     /// Nominal duration in seconds.
     pub duration_secs: f64,
+}
+
+impl ToJson for Workload {
+    fn to_json(&self) -> Json {
+        // Requests encode as compact [arrival_us, file_set, cost_us]
+        // triples; the id/time newtypes are structural, not semantic.
+        Json::obj(vec![
+            ("label", Json::str(self.label.clone())),
+            ("n_file_sets", Json::usize(self.n_file_sets)),
+            ("duration_us", Json::u64(self.duration_us)),
+            (
+                "requests",
+                Json::arr(
+                    self.requests
+                        .iter()
+                        .map(|r| {
+                            Json::arr(vec![
+                                Json::u64(r.arrival.0),
+                                Json::u64(r.file_set.0),
+                                Json::u64(r.cost.0),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Workload {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let mut requests = Vec::new();
+        for (i, r) in j.get("requests")?.as_arr()?.iter().enumerate() {
+            let triple = r.as_arr()?;
+            let [a, f, c] = triple else {
+                return Err(JsonError::shape(format!(
+                    "request {i}: expected [arrival, file_set, cost]"
+                )));
+            };
+            requests.push(Request {
+                arrival: SimTime(a.as_u64()?),
+                file_set: FileSetId(f.as_u64()?),
+                cost: SimDuration(c.as_u64()?),
+            });
+        }
+        Ok(Workload::new(
+            j.get("label")?.as_str()?.to_string(),
+            j.get("n_file_sets")?.as_usize()?,
+            SimDuration(j.get("duration_us")?.as_u64()?),
+            requests,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -307,10 +359,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let w = Workload::new("t", 1, SimDuration::from_secs(1), vec![req(0.5, 0, 7)]);
-        let j = serde_json::to_string(&w).unwrap();
-        let w2: Workload = serde_json::from_str(&j).unwrap();
+        let text = w.to_json().render();
+        let w2 = Workload::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(w2.requests, w.requests);
         assert_eq!(w2.label, "t");
     }

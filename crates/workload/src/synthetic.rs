@@ -18,10 +18,9 @@ use crate::request::{Request, Workload};
 use crate::weights::WeightDist;
 use anu_core::FileSetId;
 use anu_des::{RngStream, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// How per-request service demands are drawn.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum CostModel {
     /// Every request costs exactly the mean.
     Deterministic,
@@ -55,7 +54,7 @@ impl CostModel {
 }
 
 /// Configuration of the synthetic generator.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct SyntheticConfig {
     /// Number of file sets (paper: 500).
     pub n_file_sets: usize,
@@ -154,7 +153,7 @@ pub(crate) fn apportion(total: u64, weights: &[f64]) -> Vec<u64> {
         assigned += floor;
         remainders.push((exact - floor as f64, i));
     }
-    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut leftover = total - assigned;
     let mut i = 0;
     while leftover > 0 {

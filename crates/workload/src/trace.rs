@@ -6,6 +6,7 @@
 //! [`Workload`] including its label.
 
 use crate::request::{Request, Workload};
+use anu_core::json::{FromJson, Json, JsonError, ToJson};
 use anu_core::FileSetId;
 use anu_des::{SimDuration, SimTime};
 use std::io::{self, BufRead, BufWriter, Write};
@@ -24,7 +25,7 @@ pub enum TraceError {
         message: String,
     },
     /// Malformed JSON.
-    Json(serde_json::Error),
+    Json(JsonError),
 }
 
 impl std::fmt::Display for TraceError {
@@ -47,8 +48,8 @@ impl From<io::Error> for TraceError {
     }
 }
 
-impl From<serde_json::Error> for TraceError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for TraceError {
+    fn from(e: JsonError) -> Self {
         TraceError::Json(e)
     }
 }
@@ -143,15 +144,16 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<Workload, TraceError> {
 
 /// Save a workload as JSON to `path`.
 pub fn save_json(w: &Workload, path: &Path) -> Result<(), TraceError> {
-    let f = std::fs::File::create(path)?;
-    serde_json::to_writer(BufWriter::new(f), w)?;
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    out.write_all(w.to_json().render().as_bytes())?;
+    out.flush()?;
     Ok(())
 }
 
 /// Load a workload from JSON at `path`.
 pub fn load_json(path: &Path) -> Result<Workload, TraceError> {
-    let f = std::fs::File::open(path)?;
-    Ok(serde_json::from_reader(io::BufReader::new(f))?)
+    let text = std::fs::read_to_string(path)?;
+    Ok(Workload::from_json(&Json::parse(&text)?)?)
 }
 
 #[cfg(test)]

@@ -7,10 +7,9 @@
 //! and constant alternatives for sensitivity experiments.
 
 use anu_des::{RngStream, Zipf};
-use serde::{Deserialize, Serialize};
 
 /// Distribution of relative per-file-set workload weights.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum WeightDist {
     /// Every file set has the same weight (homogeneous workload).
     Constant,

@@ -1,21 +1,25 @@
 //! Property tests for the workload generators: exact budgets, valid
 //! arrival ranges, determinism, serialization fidelity.
+//!
+//! Cases are driven by a seeded [`RngStream`] (32 deterministic cases per
+//! property) so the suite needs no external property-test framework and
+//! reproduces exactly from the printed case index.
 
+use anu_des::RngStream;
 use anu_workload::{
     read_csv, write_csv, Burst, CostModel, DfsLikeConfig, SyntheticConfig, WeightDist,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn synthetic_hits_exact_budget(
-        seed in any::<u64>(),
-        n_sets in 1usize..100,
-        requests in 1u64..5_000,
-        duration in 10.0f64..5_000.0,
-    ) {
+#[test]
+fn synthetic_hits_exact_budget() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "synthetic-budget");
+        let seed = rng.next_u64();
+        let n_sets = 1 + rng.index(99);
+        let requests = 1 + rng.next_u64() % 4_999;
+        let duration = 10.0 + rng.uniform() * 4_990.0;
         let w = SyntheticConfig {
             n_file_sets: n_sets,
             total_requests: requests,
@@ -26,17 +30,30 @@ proptest! {
             seed,
         }
         .generate();
-        prop_assert_eq!(w.requests.len() as u64, requests);
-        prop_assert!(w.requests.iter().all(|r| r.arrival.as_secs_f64() < duration));
-        prop_assert!(w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
-        prop_assert!(w.requests.iter().all(|r| (r.file_set.0 as usize) < n_sets));
+        assert_eq!(w.requests.len() as u64, requests, "case {case}");
+        assert!(
+            w.requests
+                .iter()
+                .all(|r| r.arrival.as_secs_f64() < duration),
+            "case {case}"
+        );
+        assert!(
+            w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival),
+            "case {case}"
+        );
+        assert!(
+            w.requests.iter().all(|r| (r.file_set.0 as usize) < n_sets),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn offered_load_calibration_is_accurate(
-        seed in any::<u64>(),
-        rho in 0.05f64..0.95,
-    ) {
+#[test]
+fn offered_load_calibration_is_accurate() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "offered-load");
+        let seed = rng.next_u64();
+        let rho = 0.05 + rng.uniform() * 0.90;
         let w = SyntheticConfig {
             n_file_sets: 50,
             total_requests: 20_000,
@@ -49,38 +66,52 @@ proptest! {
         .with_offered_load(rho, 25.0)
         .generate();
         let got = w.offered_load(25.0);
-        prop_assert!((got - rho).abs() < 0.02 * rho.max(0.1), "want {rho}, got {got}");
+        assert!(
+            (got - rho).abs() < 0.02 * rho.max(0.1),
+            "case {case}: want {rho}, got {got}"
+        );
     }
+}
 
-    #[test]
-    fn dfslike_respects_activity_ratio(
-        seed in any::<u64>(),
-        ratio in 10.0f64..500.0,
-    ) {
+#[test]
+fn dfslike_respects_activity_ratio() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "dfslike-ratio");
+        let seed = rng.next_u64();
+        let ratio = 10.0 + rng.uniform() * 490.0;
         let w = DfsLikeConfig {
             n_file_sets: 21,
             total_requests: 20_000,
             duration_secs: 600.0,
             activity_ratio: ratio,
-            bursts: vec![vec![Burst { start_frac: 0.4, end_frac: 0.5, factor: 2.0 }]],
+            bursts: vec![vec![Burst {
+                start_frac: 0.4,
+                end_frac: 0.5,
+                factor: 2.0,
+            }]],
             mean_cost_secs: 0.1,
             cost: CostModel::Deterministic,
             seed,
         }
         .generate();
         let s = w.stats();
-        prop_assert_eq!(s.total_requests, 20_000);
+        assert_eq!(s.total_requests, 20_000, "case {case}");
         // Rounding moves the realized ratio a little; it must stay near the
         // configured spectrum.
-        prop_assert!(
+        assert!(
             s.heterogeneity_ratio > ratio * 0.5 && s.heterogeneity_ratio < ratio * 2.0,
-            "configured {ratio}, realized {}",
+            "case {case}: configured {ratio}, realized {}",
             s.heterogeneity_ratio
         );
     }
+}
 
-    #[test]
-    fn csv_roundtrip_any_workload(seed in any::<u64>(), n in 1u64..500) {
+#[test]
+fn csv_roundtrip_any_workload() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "csv-roundtrip");
+        let seed = rng.next_u64();
+        let n = 1 + rng.next_u64() % 499;
         let w = SyntheticConfig {
             n_file_sets: 10,
             total_requests: n,
@@ -94,16 +125,20 @@ proptest! {
         let mut buf = Vec::new();
         write_csv(&w, &mut buf).unwrap();
         let w2 = read_csv(buf.as_slice()).unwrap();
-        prop_assert_eq!(w.requests, w2.requests);
-        prop_assert_eq!(w.n_file_sets, w2.n_file_sets);
-        prop_assert_eq!(w.duration_us, w2.duration_us);
+        assert_eq!(w.requests, w2.requests, "case {case}");
+        assert_eq!(w.n_file_sets, w2.n_file_sets, "case {case}");
+        assert_eq!(w.duration_us, w2.duration_us, "case {case}");
     }
+}
 
-    #[test]
-    fn generators_are_seed_deterministic(seed in any::<u64>()) {
+#[test]
+fn generators_are_seed_deterministic() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "seed-determinism");
+        let seed = rng.next_u64();
         let a = SyntheticConfig::paper(seed).generate();
         let b = SyntheticConfig::paper(seed).generate();
-        prop_assert_eq!(a.requests, b.requests);
+        assert_eq!(a.requests, b.requests, "case {case}");
         let c = DfsLikeConfig {
             total_requests: 5_000,
             ..DfsLikeConfig::paper(seed)
@@ -114,11 +149,16 @@ proptest! {
             ..DfsLikeConfig::paper(seed)
         }
         .generate();
-        prop_assert_eq!(c.requests, d.requests);
+        assert_eq!(c.requests, d.requests, "case {case}");
     }
+}
 
-    #[test]
-    fn window_demands_partition_total(seed in any::<u64>(), cut in 0.1f64..0.9) {
+#[test]
+fn window_demands_partition_total() {
+    for case in 0..CASES {
+        let mut rng = RngStream::new(case, "window-demands");
+        let seed = rng.next_u64();
+        let cut = 0.1 + rng.uniform() * 0.8;
         let w = SyntheticConfig {
             n_file_sets: 20,
             total_requests: 2_000,
@@ -135,7 +175,7 @@ proptest! {
         let b = w.window_demands(mid, SimTime(u64::MAX));
         let total = w.total_demands();
         for i in 0..20 {
-            prop_assert!((a[i] + b[i] - total[i]).abs() < 1e-9);
+            assert!((a[i] + b[i] - total[i]).abs() < 1e-9, "case {case} set {i}");
         }
     }
 }

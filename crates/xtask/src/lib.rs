@@ -1,0 +1,1105 @@
+//! `anu-xtask` — repo-specific static analysis for the ANU reproduction.
+//!
+//! The whole evaluation rests on bit-for-bit deterministic simulation:
+//! placement must be a pure function of seed and input, fixed-point
+//! interval arithmetic must never silently truncate, and library code must
+//! not panic on untrusted input. This crate is a dependency-free lint
+//! driver that walks the workspace sources and mechanically enforces those
+//! conventions with `file:line` diagnostics, a JSON report, and a waiver
+//! syntax for the rare justified exception.
+//!
+//! ## Lints
+//!
+//! | name             | scope                         | forbids                                   |
+//! |------------------|-------------------------------|-------------------------------------------|
+//! | `wall-clock`     | sim-path crates               | `Instant::now`, `SystemTime`              |
+//! | `thread-rng`     | sim-path crates               | `thread_rng`, `from_entropy`, `OsRng`, …  |
+//! | `hash-iteration` | sim-path crates               | `HashMap` / `HashSet` (iteration order)   |
+//! | `as-cast`        | fixed-point files             | bare `as` casts                           |
+//! | `float-cmp`      | fixed-point files             | `==` / `!=` involving floats              |
+//! | `panic`          | all library code              | `.unwrap()`, `.expect(`, `panic!(`        |
+//! | `missing-docs`   | all library code              | undocumented `pub` items                  |
+//! | `waiver`         | everywhere                    | waivers without a written justification   |
+//!
+//! *Sim-path crates*: `anu-core`, `anu-des`, `anu-cluster`, `anu-policies`
+//! — the crates whose behavior feeds simulation results. *Fixed-point
+//! files*: `interval.rs`, `shares.rs`, `partition.rs`, `placement.rs`.
+//! *Library code*: `src/` trees of all workspace crates, excluding binary
+//! entry points (`src/main.rs`, `src/bin/`), `tests/`, `benches/` and
+//! `examples/`, and excluding `#[cfg(test)]` modules.
+//!
+//! ## Waivers
+//!
+//! A violation is waived by a comment on the same line or the line above:
+//!
+//! ```text
+//! // anu-lint: allow(as-cast) -- u64->f64 rounding is intended here
+//! ```
+//!
+//! The justification after `--` is mandatory; a waiver without one is
+//! itself reported (lint `waiver`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lints the driver knows about.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lint {
+    /// Wall-clock reads in sim-path crates.
+    WallClock,
+    /// Ambient/entropy-seeded RNG in sim-path crates.
+    ThreadRng,
+    /// `HashMap`/`HashSet` in sim-path crates (iteration order is
+    /// nondeterministic; use `BTreeMap`/`BTreeSet`).
+    HashIteration,
+    /// Bare `as` casts in fixed-point arithmetic files.
+    AsCast,
+    /// Float `==`/`!=` in fixed-point arithmetic files.
+    FloatCmp,
+    /// `.unwrap()` / `.expect(` / `panic!(` in library code.
+    Panic,
+    /// Undocumented `pub` item in library code.
+    MissingDocs,
+    /// Malformed waiver (missing justification).
+    Waiver,
+}
+
+/// Every lint, in reporting order.
+pub const ALL_LINTS: [Lint; 8] = [
+    Lint::WallClock,
+    Lint::ThreadRng,
+    Lint::HashIteration,
+    Lint::AsCast,
+    Lint::FloatCmp,
+    Lint::Panic,
+    Lint::MissingDocs,
+    Lint::Waiver,
+];
+
+impl Lint {
+    /// The kebab-case name used in waivers, reports and `--lint` filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::WallClock => "wall-clock",
+            Lint::ThreadRng => "thread-rng",
+            Lint::HashIteration => "hash-iteration",
+            Lint::AsCast => "as-cast",
+            Lint::FloatCmp => "float-cmp",
+            Lint::Panic => "panic",
+            Lint::MissingDocs => "missing-docs",
+            Lint::Waiver => "waiver",
+        }
+    }
+
+    /// One-line description for `list-lints`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::WallClock => "wall-clock reads (Instant::now, SystemTime) in sim-path crates",
+            Lint::ThreadRng => {
+                "entropy-seeded RNG (thread_rng, OsRng, from_entropy) in sim-path crates"
+            }
+            Lint::HashIteration => {
+                "HashMap/HashSet in sim-path crates; iteration order is nondeterministic"
+            }
+            Lint::AsCast => "bare `as` casts in fixed-point files; use the checked helpers",
+            Lint::FloatCmp => "float ==/!= in fixed-point files; compare exact fixed-point units",
+            Lint::Panic => ".unwrap()/.expect()/panic!() in library code; return Result instead",
+            Lint::MissingDocs => "undocumented pub item in library code",
+            Lint::Waiver => "anu-lint waiver without a written justification",
+        }
+    }
+
+    /// Parse a lint name as used in waivers.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        ALL_LINTS.iter().copied().find(|l| l.name() == name)
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Path relative to the scanned root, with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation of what was found.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Documentation coverage of one crate's library sources.
+#[derive(Clone, Debug, Default)]
+pub struct DocCoverage {
+    /// Number of documented `pub` items.
+    pub documented: usize,
+    /// Total number of `pub` items.
+    pub total: usize,
+}
+
+impl DocCoverage {
+    /// Coverage as a percentage (100 for crates with no pub items).
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.documented as f64 / self.total as f64
+        }
+    }
+}
+
+/// The result of scanning a workspace tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Violations that were not waived, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Number of violations suppressed by a justified waiver.
+    pub waived: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Per-crate `pub`-item documentation coverage, keyed by crate name.
+    pub doc_coverage: BTreeMap<String, DocCoverage>,
+}
+
+impl Report {
+    /// Did the tree pass (no unwaived violations)?
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} violation(s), {} waived\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.waived
+        ));
+        out.push_str("doc coverage:\n");
+        for (krate, cov) in &self.doc_coverage {
+            out.push_str(&format!(
+                "  {:<14} {:>4}/{:<4} pub items documented ({:.1}%)\n",
+                krate,
+                cov.documented,
+                cov.total,
+                cov.percent()
+            ));
+        }
+        out
+    }
+
+    /// Render the report as a JSON document.
+    ///
+    /// Shape:
+    /// ```json
+    /// {
+    ///   "ok": true,
+    ///   "files_scanned": 60,
+    ///   "waived": 2,
+    ///   "violations": [{"lint": "...", "file": "...", "line": 3, "message": "..."}],
+    ///   "doc_coverage": {"anu-core": {"documented": 10, "total": 10, "percent": 100.0}}
+    /// }
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"ok\": {},\n", self.clean()));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"waived\": {},\n", self.waived));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(v.lint.name()),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"doc_coverage\": {");
+        for (i, (krate, cov)) in self.doc_coverage.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"documented\": {}, \"total\": {}, \"percent\": {:.1}}}",
+                json_str(krate),
+                cov.documented,
+                cov.total,
+                cov.percent()
+            ));
+        }
+        if !self.doc_coverage.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Crates whose code feeds simulation results and must therefore be
+/// deterministic (no wall clock, no entropy, no hash-order iteration).
+const SIM_PATH_CRATES: [&str; 4] = ["core", "des", "cluster", "policies"];
+
+/// Files implementing the fixed-point interval arithmetic, where bare
+/// casts and float comparisons are forbidden.
+const FIXED_POINT_FILES: [&str; 4] = ["interval.rs", "shares.rs", "partition.rs", "placement.rs"];
+
+/// What the scanner knows about a file before reading it.
+#[derive(Clone, Debug)]
+struct FileContext {
+    /// Path relative to the root, `/`-separated.
+    rel: String,
+    /// Crate name for doc coverage ("anu-core", "anu", …).
+    krate: String,
+    /// Crate directory under `crates/`, e.g. "core"; empty for the root.
+    crate_dir: String,
+    /// Is this library code (vs. a binary entry point)?
+    library: bool,
+}
+
+impl FileContext {
+    fn sim_path(&self) -> bool {
+        SIM_PATH_CRATES.contains(&self.crate_dir.as_str())
+    }
+
+    fn fixed_point(&self) -> bool {
+        let base = self.rel.rsplit('/').next().unwrap_or("");
+        self.sim_path() && FIXED_POINT_FILES.contains(&base)
+    }
+}
+
+/// Scan the workspace rooted at `root` with every lint enabled.
+///
+/// Only library sources are visited: `src/` of the root package and of
+/// every `crates/*` member. `tests/`, `benches/`, `examples/`, and binary
+/// entry points are out of scope by construction.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let src = entry.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let Some(ctx) = classify(root, &path) else {
+            continue;
+        };
+        let text = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        scan_file(&text, &ctx, &mut report);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(report)
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Work out the crate and role of a source file from its path.
+fn classify(root: &Path, path: &Path) -> Option<FileContext> {
+    let rel_path = path.strip_prefix(root).ok()?;
+    let rel: String = rel_path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_dir, krate, within): (String, String, &[&str]) = if parts.first() == Some(&"crates")
+    {
+        let dir = (*parts.get(1)?).to_string();
+        let name = format!("anu-{dir}");
+        (dir, name, parts.get(2..)?)
+    } else {
+        (String::new(), "anu".to_string(), &parts[..])
+    };
+    if within.first() != Some(&"src") {
+        return None;
+    }
+    // Binary entry points are application code: the panic policy and doc
+    // lints do not apply (a CLI may die loudly on bad arguments).
+    let library = !(within.get(1) == Some(&"bin") || within.get(1) == Some(&"main.rs"));
+    Some(FileContext {
+        rel,
+        krate,
+        crate_dir,
+        library,
+    })
+}
+
+/// A waiver parsed from a source line.
+#[derive(Clone, Debug, Default)]
+struct LineInfo {
+    /// Code with comments and string/char literal contents blanked out.
+    code: String,
+    /// Lints waived on this line (applies to this line and the next).
+    waived: Vec<Lint>,
+    /// A waiver comment was present but malformed.
+    bad_waiver: Option<String>,
+    /// The line is a `///` or `//!` doc comment.
+    doc_comment: bool,
+    /// The line is inside (or opens) a `#[cfg(test)]` module.
+    in_test_cfg: bool,
+}
+
+/// Scan one file's text, appending findings to `report`.
+fn scan_file(text: &str, ctx: &FileContext, report: &mut Report) {
+    let lines = analyze_lines(text);
+
+    let mut pending: Vec<(usize, Lint, String)> = Vec::new();
+
+    for (idx, info) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if let Some(reason) = &info.bad_waiver {
+            pending.push((lineno, Lint::Waiver, reason.clone()));
+            continue;
+        }
+        if info.in_test_cfg {
+            continue;
+        }
+        let code = info.code.as_str();
+
+        if ctx.sim_path() {
+            for token in ["Instant::now", "SystemTime"] {
+                if code.contains(token) {
+                    pending.push((
+                        lineno,
+                        Lint::WallClock,
+                        format!("`{token}` reads the wall clock; simulations must be a pure function of seed and input"),
+                    ));
+                }
+            }
+            for token in [
+                "thread_rng",
+                "ThreadRng",
+                "from_entropy",
+                "OsRng",
+                "getrandom",
+            ] {
+                if contains_word(code, token) {
+                    pending.push((
+                        lineno,
+                        Lint::ThreadRng,
+                        format!("`{token}` draws ambient entropy; use a seeded RngStream"),
+                    ));
+                }
+            }
+            for token in ["HashMap", "HashSet"] {
+                if contains_word(code, token) {
+                    pending.push((
+                        lineno,
+                        Lint::HashIteration,
+                        format!(
+                            "`{token}` has nondeterministic iteration order; use BTreeMap/BTreeSet"
+                        ),
+                    ));
+                }
+            }
+        }
+        if ctx.fixed_point() {
+            if contains_word(code, "as") && !code.trim_start().starts_with("use ") {
+                pending.push((
+                    lineno,
+                    Lint::AsCast,
+                    "bare `as` cast in fixed-point arithmetic; use the checked num helpers"
+                        .to_string(),
+                ));
+            }
+            if (code.contains("==") || code.contains("!=")) && mentions_float(code) {
+                pending.push((
+                    lineno,
+                    Lint::FloatCmp,
+                    "float equality in fixed-point arithmetic; compare exact fixed-point units"
+                        .to_string(),
+                ));
+            }
+        }
+        if ctx.library {
+            for (token, what) in [
+                (".unwrap()", "`.unwrap()`"),
+                (".expect(", "`.expect()`"),
+                ("panic!(", "`panic!`"),
+            ] {
+                if code.contains(token) {
+                    pending.push((
+                        lineno,
+                        Lint::Panic,
+                        format!("{what} in library code; return Result or restructure"),
+                    ));
+                }
+            }
+            if let Some(item) = pub_item_name(code) {
+                let cov = report.doc_coverage.entry(ctx.krate.clone()).or_default();
+                cov.total += 1;
+                if is_documented(&lines, idx) {
+                    cov.documented += 1;
+                } else {
+                    pending.push((
+                        lineno,
+                        Lint::MissingDocs,
+                        format!("public item `{item}` has no doc comment"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Apply waivers: a waiver on line N covers violations on N and N+1.
+    for (lineno, lint, message) in pending {
+        let own = lines
+            .get(lineno - 1)
+            .map(|l| l.waived.contains(&lint))
+            .unwrap_or(false);
+        let above = lineno >= 2
+            && lines
+                .get(lineno - 2)
+                .map(|l| l.waived.contains(&lint))
+                .unwrap_or(false);
+        if lint != Lint::Waiver && (own || above) {
+            report.waived += 1;
+        } else {
+            report.violations.push(Violation {
+                lint,
+                file: ctx.rel.clone(),
+                line: lineno,
+                message,
+            });
+        }
+    }
+}
+
+/// Does `code` contain `word` delimited by non-identifier characters?
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+/// Heuristic: does the line mention floating-point values (a float literal
+/// like `1.5`, or the `f32`/`f64` type names)?
+fn mentions_float(code: &str) -> bool {
+    if contains_word(code, "f64") || contains_word(code, "f32") {
+        return true;
+    }
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// If `code` declares a `pub` item, return the item's name.
+fn pub_item_name(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("pub ")?;
+    // `pub(crate)` / `pub(super)` items are not part of the public API.
+    let mut tokens = rest.split_whitespace().peekable();
+    // Skip qualifiers to find the item keyword.
+    let mut keyword = None;
+    while let Some(&tok) = tokens.peek() {
+        match tok {
+            "const" => {
+                // `pub const fn` is a function; `pub const NAME` a constant.
+                let mut clone = tokens.clone();
+                clone.next();
+                if clone.peek() == Some(&"fn") {
+                    tokens.next();
+                    continue;
+                }
+                keyword = Some("const");
+                tokens.next();
+                break;
+            }
+            "async" | "unsafe" | "extern" => {
+                tokens.next();
+            }
+            "fn" | "struct" | "enum" | "trait" | "mod" | "static" | "type" | "union" => {
+                keyword = Some(tok);
+                tokens.next();
+                break;
+            }
+            _ => return None,
+        }
+    }
+    let kw = keyword?;
+    let name = tokens.next()?;
+    // `pub mod foo;` declares an external module whose documentation lives
+    // as `//!` inner docs in the module file (rustc attributes them there);
+    // only inline `pub mod foo { ... }` needs an outer doc comment.
+    if kw == "mod" && trimmed.trim_end().ends_with(';') {
+        return None;
+    }
+    let name: String = name
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Is the `pub` item on `idx` preceded by a doc comment (skipping
+/// attributes)?
+fn is_documented(lines: &[LineInfo], idx: usize) -> bool {
+    let mut i = idx;
+    let mut attr_depth: i32 = 0;
+    while i > 0 {
+        i -= 1;
+        let info = &lines[i];
+        if info.doc_comment {
+            return true;
+        }
+        let t = info.code.trim();
+        // Walk over attributes, including multi-line ones, by balancing
+        // brackets on attribute lines.
+        let opens = t.chars().filter(|&c| c == '[').count() as i32;
+        let closes = t.chars().filter(|&c| c == ']').count() as i32;
+        if t.starts_with("#[") || attr_depth > 0 {
+            attr_depth += opens - closes;
+            continue;
+        }
+        if t.is_empty() {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Split `text` into lines with comments/strings blanked, waivers parsed,
+/// and `#[cfg(test)]` regions marked.
+fn analyze_lines(text: &str) -> Vec<LineInfo> {
+    let (stripped, comments) = strip_non_code(text);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    let comment_lines: Vec<&str> = comments.lines().collect();
+
+    let mut out = Vec::with_capacity(raw_lines.len());
+    let mut test_depth: i32 = -1; // brace depth when a cfg(test) region closes
+    let mut depth: i32 = 0;
+    let mut pending_test_cfg = false;
+
+    for (i, raw) in raw_lines.iter().enumerate() {
+        let code = code_lines.get(i).copied().unwrap_or("").to_string();
+        let mut info = LineInfo {
+            code,
+            ..LineInfo::default()
+        };
+        let trimmed_raw = raw.trim_start();
+        info.doc_comment = trimmed_raw.starts_with("///") || trimmed_raw.starts_with("//!");
+
+        // Waiver comments are parsed from the comment view only, so
+        // string literals mentioning the syntax (e.g. in this very crate)
+        // and doc prose about it are never mistaken for waivers.
+        let cmt = comment_lines.get(i).copied().unwrap_or("");
+        if !info.doc_comment {
+            if let Some(pos) = cmt.find("anu-lint:") {
+                parse_waiver(&cmt[pos..], &mut info);
+            }
+        }
+
+        // cfg(test) region tracking, on the code view.
+        let t = info.code.trim();
+        if t.starts_with("#[cfg(") && t.contains("test") {
+            pending_test_cfg = true;
+        }
+        let opens = info.code.chars().filter(|&c| c == '{').count() as i32;
+        let closes = info.code.chars().filter(|&c| c == '}').count() as i32;
+        let in_test = test_depth >= 0;
+        if pending_test_cfg && opens > 0 {
+            test_depth = depth;
+            pending_test_cfg = false;
+            info.in_test_cfg = true;
+        } else {
+            info.in_test_cfg = in_test || pending_test_cfg;
+        }
+        depth += opens - closes;
+        if test_depth >= 0 && depth <= test_depth {
+            test_depth = -1;
+        }
+        out.push(info);
+    }
+    out
+}
+
+/// Parse an `anu-lint: allow(a, b) -- reason` comment into `info`.
+fn parse_waiver(text: &str, info: &mut LineInfo) {
+    let bad = |msg: &str| Some(msg.to_string());
+    let Some(open) = text.find("allow(") else {
+        info.bad_waiver = bad("waiver must use `anu-lint: allow(<lint>) -- <reason>`");
+        return;
+    };
+    let Some(close) = text[open..].find(')') else {
+        info.bad_waiver = bad("unclosed `allow(` in waiver");
+        return;
+    };
+    let list = &text[open + "allow(".len()..open + close];
+    let mut lints = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        match Lint::from_name(name) {
+            Some(l) => lints.push(l),
+            None => {
+                info.bad_waiver = bad(&format!("unknown lint `{name}` in waiver"));
+                return;
+            }
+        }
+    }
+    let after = &text[open + close + 1..];
+    let Some(dashes) = after.find("--") else {
+        info.bad_waiver = bad("waiver needs a justification: `-- <reason>`");
+        return;
+    };
+    if after[dashes + 2..].trim().is_empty() {
+        info.bad_waiver = bad("waiver justification is empty");
+        return;
+    }
+    info.waived = lints;
+}
+
+/// Produce two parallel views of `text`, both preserving line structure:
+/// a *code view* with comments and string/char-literal contents blanked,
+/// and a *comment view* with everything except comment text blanked.
+/// Handles line comments, nested block comments, plain and raw strings,
+/// and char literals (while leaving lifetimes alone).
+fn strip_non_code(text: &str) -> (String, String) {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut cmt = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Push a byte to the code view and blank it in the comment view.
+    fn code(out: &mut Vec<u8>, cmt: &mut Vec<u8>, b: u8) {
+        out.push(b);
+        cmt.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+    // Push a byte to the comment view and blank it in the code view.
+    fn comment(out: &mut Vec<u8>, cmt: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+        cmt.push(b);
+    }
+    // Blank a byte in both views.
+    fn neither(out: &mut Vec<u8>, cmt: &mut Vec<u8>, b: u8) {
+        let keep = if b == b'\n' { b'\n' } else { b' ' };
+        out.push(keep);
+        cmt.push(keep);
+    }
+
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut mode = Mode::Code;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match mode {
+            Mode::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    // Line comment: move to the comment view to end of line.
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        comment(&mut out, &mut cmt, bytes[i]);
+                        i += 1;
+                    }
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(1);
+                    comment(&mut out, &mut cmt, b'/');
+                    comment(&mut out, &mut cmt, b'*');
+                    i += 2;
+                } else if b == b'r'
+                    && (bytes.get(i + 1) == Some(&b'"') || bytes.get(i + 1) == Some(&b'#'))
+                    && (i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_'))
+                {
+                    // Raw string r"..." or r#"..."# etc.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        for _ in 0..hashes + 2 {
+                            neither(&mut out, &mut cmt, b' ');
+                        }
+                        i = j + 1;
+                        mode = Mode::RawStr(hashes);
+                    } else {
+                        code(&mut out, &mut cmt, b);
+                        i += 1;
+                    }
+                } else if b == b'"' {
+                    code(&mut out, &mut cmt, b'"');
+                    i += 1;
+                    mode = Mode::Str;
+                } else if b == b'\'' {
+                    // Char literal or lifetime. A char literal is 'x' or
+                    // '\...'; a lifetime is 'ident with no closing quote.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: skip to closing quote.
+                        code(&mut out, &mut cmt, b'\'');
+                        i += 1;
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            neither(&mut out, &mut cmt, b' ');
+                            i += 1;
+                        }
+                        if i < bytes.len() {
+                            code(&mut out, &mut cmt, b'\'');
+                            i += 1;
+                        }
+                    } else if bytes.get(i + 2) == Some(&b'\'') {
+                        code(&mut out, &mut cmt, b'\'');
+                        neither(&mut out, &mut cmt, b' ');
+                        code(&mut out, &mut cmt, b'\'');
+                        i += 3;
+                    } else {
+                        code(&mut out, &mut cmt, b);
+                        i += 1;
+                    }
+                } else {
+                    code(&mut out, &mut cmt, b);
+                    i += 1;
+                }
+            }
+            Mode::Block(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(depth + 1);
+                    comment(&mut out, &mut cmt, b'/');
+                    comment(&mut out, &mut cmt, b'*');
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth > 1 {
+                        Mode::Block(depth - 1)
+                    } else {
+                        Mode::Code
+                    };
+                    comment(&mut out, &mut cmt, b'*');
+                    comment(&mut out, &mut cmt, b'/');
+                    i += 2;
+                } else {
+                    comment(&mut out, &mut cmt, b);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b == b'\\' {
+                    neither(&mut out, &mut cmt, b' ');
+                    neither(&mut out, &mut cmt, b' ');
+                    i += 2;
+                } else if b == b'"' {
+                    code(&mut out, &mut cmt, b'"');
+                    i += 1;
+                    mode = Mode::Code;
+                } else {
+                    neither(&mut out, &mut cmt, b);
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes + 1 {
+                            neither(&mut out, &mut cmt, b' ');
+                        }
+                        i += hashes + 1;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                neither(&mut out, &mut cmt, b);
+                i += 1;
+            }
+        }
+    }
+    (
+        String::from_utf8_lossy(&out).into_owned(),
+        String::from_utf8_lossy(&cmt).into_owned(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rel: &str, crate_dir: &str, library: bool) -> FileContext {
+        FileContext {
+            rel: rel.to_string(),
+            krate: if crate_dir.is_empty() {
+                "anu".to_string()
+            } else {
+                format!("anu-{crate_dir}")
+            },
+            crate_dir: crate_dir.to_string(),
+            library,
+        }
+    }
+
+    fn run(text: &str, c: &FileContext) -> Report {
+        let mut r = Report::default();
+        scan_file(text, c, &mut r);
+        r
+    }
+
+    #[test]
+    fn flags_wall_clock_in_sim_path() {
+        let c = ctx("crates/des/src/lib.rs", "des", true);
+        let r = run(
+            "/// d\npub fn f() {\n let t = std::time::Instant::now();\n}\n",
+            &c,
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].lint, Lint::WallClock);
+        assert_eq!(r.violations[0].line, 3);
+    }
+
+    #[test]
+    fn ignores_wall_clock_outside_sim_path() {
+        let c = ctx("crates/harness/src/lib.rs", "harness", true);
+        let r = run(
+            "/// d\npub fn f() {\n let t = std::time::Instant::now();\n}\n",
+            &c,
+        );
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "/// d\npub fn f() {\n // anu-lint: allow(hash-iteration) -- bounded scratch map, drained sorted\n let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+        let r = run(text, &c);
+        assert!(r.clean(), "{:?}", r.violations);
+        assert_eq!(r.waived, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_reported() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "// anu-lint: allow(panic)\n";
+        let r = run(text, &c);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].lint, Lint::Waiver);
+    }
+
+    #[test]
+    fn panic_allowed_in_cfg_test() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let r = run(text, &c);
+        assert!(r.clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn panic_flagged_in_library() {
+        let c = ctx("crates/cluster/src/lib.rs", "cluster", true);
+        let r = run(
+            "fn f() { x.unwrap(); y.expect(\"z\"); panic!(\"no\"); }\n",
+            &c,
+        );
+        assert_eq!(r.violations.len(), 3);
+        assert!(r.violations.iter().all(|v| v.lint == Lint::Panic));
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        let c = ctx("crates/cluster/src/lib.rs", "cluster", true);
+        let r = run("fn f() { x.unwrap_or(0); x.unwrap_or_else(f); }\n", &c);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn strings_and_comments_ignored() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let r = run(
+            "fn f() { let s = \"panic!( .unwrap() HashMap\"; } // .expect( too\n",
+            &c,
+        );
+        assert!(r.clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn as_cast_only_in_fixed_point_files() {
+        let ok = ctx("crates/core/src/tuner.rs", "core", true);
+        let bad = ctx("crates/core/src/interval.rs", "core", true);
+        let text = "fn f(x: u64) -> f64 { x as f64 }\n";
+        assert!(run(text, &ok).clean());
+        let r = run(text, &bad);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].lint, Lint::AsCast);
+    }
+
+    #[test]
+    fn float_cmp_in_fixed_point_files() {
+        let c = ctx("crates/core/src/shares.rs", "core", true);
+        let r = run("fn f(x: f64) -> bool { x == 0.5 }\n", &c);
+        assert!(r.violations.iter().any(|v| v.lint == Lint::FloatCmp));
+    }
+
+    #[test]
+    fn missing_docs_counted_per_crate() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "/// Documented.\npub fn a() {}\n\npub fn b() {}\n";
+        let r = run(text, &c);
+        let cov = &r.doc_coverage["anu-core"];
+        assert_eq!((cov.documented, cov.total), (1, 2));
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].lint, Lint::MissingDocs);
+        assert_eq!(r.violations[0].line, 4);
+    }
+
+    #[test]
+    fn attributes_between_doc_and_item_are_ok() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "/// Documented.\n#[derive(Clone)]\n#[repr(C)]\npub struct S;\n";
+        assert!(run(text, &c).clean());
+    }
+
+    #[test]
+    fn pub_crate_needs_no_docs() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        assert!(run("pub(crate) fn hidden() {}\n", &c).clean());
+    }
+
+    #[test]
+    fn lifetime_is_not_a_char_literal() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        // If the lifetime confused the lexer, the rest of the line would be
+        // treated as a string and the unwrap would be missed.
+        let r = run("fn f<'a>(x: &'a str) { x.unwrap(); }\n", &c);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let r = run("pub fn b() {}\n", &c);
+        let j = r.render_json();
+        assert!(j.contains("\"ok\": false"));
+        assert!(j.contains("\"lint\": \"missing-docs\""));
+        assert!(j.contains("\"doc_coverage\""));
+    }
+
+    #[test]
+    fn classify_paths() {
+        let root = Path::new("/ws");
+        let c = classify(root, Path::new("/ws/crates/core/src/interval.rs")).unwrap();
+        assert!(c.sim_path() && c.fixed_point() && c.library);
+        let c = classify(root, Path::new("/ws/crates/harness/src/bin/sweep.rs")).unwrap();
+        assert!(!c.library);
+        let c = classify(root, Path::new("/ws/src/lib.rs")).unwrap();
+        assert_eq!(c.krate, "anu");
+        assert!(classify(root, Path::new("/ws/crates/core/tests/x.rs")).is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! CLI driver for the ANU repo lints.
+//!
+//! ```text
+//! anu-xtask check [--root DIR] [--format text|json]
+//! anu-xtask list-lints
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unwaived violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anu_xtask::{scan_workspace, ALL_LINTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "list-lints" => {
+            for lint in ALL_LINTS {
+                println!("{:<15} {}", lint.name(), lint.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut root: Option<PathBuf> = None;
+            let mut format = "text".to_string();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--root" => match it.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => {
+                            eprintln!("error: --root needs a directory");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--format" => match it.next().map(String::as_str) {
+                        Some(f @ ("text" | "json")) => format = f.to_string(),
+                        _ => {
+                            eprintln!("error: --format must be `text` or `json`");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("error: unknown argument `{other}`");
+                        usage();
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(|| {
+                // When run via `cargo run -p anu-xtask`, the workspace root
+                // is one level above this crate's manifest dir.
+                let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+                manifest
+                    .parent()
+                    .and_then(|p| p.parent())
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."))
+            });
+            if !root.is_dir() {
+                eprintln!("error: {} is not a directory", root.display());
+                return ExitCode::from(2);
+            }
+            let report = match scan_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: failed to scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            // A root with no sources is almost certainly a typo'd --root;
+            // treat it as usage error rather than a clean pass.
+            if report.files_scanned == 0 {
+                eprintln!("error: no Rust sources under {}", root.display());
+                return ExitCode::from(2);
+            }
+            match format.as_str() {
+                "json" => print!("{}", report.render_json()),
+                _ => print!("{}", report.render_text()),
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: anu-xtask <check [--root DIR] [--format text|json] | list-lints>");
+}

@@ -1,0 +1,119 @@
+//! Integration tests for `anu-xtask` against the fixture trees under
+//! `tests/fixtures/`: exact per-lint counts, waiver honoring, and the JSON
+//! report shape.
+
+use anu_xtask::{scan_workspace, Lint, Report};
+use std::path::PathBuf;
+
+fn scan_fixture(name: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    scan_workspace(&root).expect("fixture tree readable")
+}
+
+fn count(report: &Report, lint: Lint) -> usize {
+    report.violations.iter().filter(|v| v.lint == lint).count()
+}
+
+#[test]
+fn violations_fixture_exact_counts() {
+    let r = scan_fixture("violations");
+    assert_eq!(r.files_scanned, 3);
+    assert_eq!(count(&r, Lint::WallClock), 1);
+    assert_eq!(count(&r, Lint::ThreadRng), 1);
+    assert_eq!(count(&r, Lint::HashIteration), 1);
+    // One bare unwrap, plus one whose waiver lacks a justification.
+    assert_eq!(count(&r, Lint::Panic), 2);
+    assert_eq!(count(&r, Lint::MissingDocs), 1);
+    assert_eq!(count(&r, Lint::AsCast), 1);
+    assert_eq!(count(&r, Lint::FloatCmp), 1);
+    // The justification-less waiver and the unknown-lint waiver.
+    assert_eq!(count(&r, Lint::Waiver), 2);
+    assert_eq!(r.violations.len(), 10);
+    assert_eq!(r.waived, 0);
+    assert!(!r.clean());
+}
+
+#[test]
+fn violations_fixture_locations() {
+    let r = scan_fixture("violations");
+    let at = |lint: Lint| {
+        r.violations
+            .iter()
+            .filter(|v| v.lint == lint)
+            .map(|v| (v.file.as_str(), v.line))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(at(Lint::WallClock), [("crates/core/src/lib.rs", 6)]);
+    assert_eq!(at(Lint::AsCast), [("crates/core/src/interval.rs", 5)]);
+    assert_eq!(at(Lint::FloatCmp), [("crates/core/src/interval.rs", 6)]);
+    assert_eq!(
+        at(Lint::Panic),
+        [
+            ("crates/core/src/lib.rs", 21),
+            ("crates/core/src/lib.rs", 29)
+        ]
+    );
+}
+
+#[test]
+fn binary_entry_points_are_exempt_from_panic_policy() {
+    let r = scan_fixture("violations");
+    assert!(
+        !r.violations.iter().any(|v| v.file == "src/main.rs"),
+        "src/main.rs must be exempt, got: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn waived_fixture_suppresses_everything() {
+    let r = scan_fixture("waived");
+    assert!(r.clean(), "unexpected violations: {:?}", r.violations);
+    // wall-clock + same-line hash-iteration + (thread-rng, panic) pair.
+    assert_eq!(r.waived, 4);
+    assert_eq!(r.files_scanned, 1);
+    let cov = &r.doc_coverage["anu-core"];
+    assert_eq!((cov.documented, cov.total), (3, 3));
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let r = scan_fixture("clean");
+    assert!(r.clean());
+    assert_eq!(r.waived, 0);
+    assert_eq!(r.files_scanned, 1);
+    let cov = &r.doc_coverage["anu"];
+    assert_eq!((cov.documented, cov.total), (1, 1));
+}
+
+#[test]
+fn json_report_shape() {
+    let r = scan_fixture("violations");
+    let json = r.render_json();
+    // Top-level keys, in a stable order.
+    for key in [
+        "\"ok\": false",
+        "\"files_scanned\": 3",
+        "\"waived\": 0",
+        "\"violations\": [",
+        "\"doc_coverage\": {",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    // Every violation entry carries the four fields.
+    assert_eq!(json.matches("\"lint\": ").count(), 10);
+    assert_eq!(json.matches("\"file\": ").count(), 10);
+    assert_eq!(json.matches("\"line\": ").count(), 10);
+    assert_eq!(json.matches("\"message\": ").count(), 10);
+    assert!(json.contains("\"lint\": \"wall-clock\""));
+    assert!(json.contains("\"anu-core\": {\"documented\": 7, \"total\": 8"));
+    // Balanced braces/brackets (the report is hand-rendered, not serde).
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    // A clean report says so.
+    let clean = scan_fixture("clean").render_json();
+    assert!(clean.contains("\"ok\": true"));
+    assert!(clean.contains("\"violations\": [],"));
+}

@@ -1,0 +1,6 @@
+//! Fixture crate with nothing to report.
+
+/// Adds one.
+pub fn add_one(x: u64) -> u64 {
+    x.saturating_add(1)
+}

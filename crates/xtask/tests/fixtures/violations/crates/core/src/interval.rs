@@ -1,0 +1,7 @@
+//! Fixture module: fixed-point soundness violations.
+
+/// One bare cast and one float comparison.
+pub fn unsound(x: u64, a: f64) -> bool {
+    let _y = x as f64;
+    a == 0.5
+}

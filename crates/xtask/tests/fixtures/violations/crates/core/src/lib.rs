@@ -1,0 +1,35 @@
+//! Fixture crate: triggers each determinism and panic-policy lint once
+//! (panic twice: one bare, one under a malformed waiver).
+
+/// Reads the wall clock.
+pub fn clock() {
+    let _t = std::time::Instant::now();
+}
+
+/// Draws ambient entropy.
+pub fn entropy() {
+    let _r = thread_rng();
+}
+
+/// Iterates a hash map.
+pub fn hashed() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+}
+
+/// Panics in library code.
+pub fn panicky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn undocumented() {}
+
+/// A waiver without a justification does not waive anything.
+pub fn badly_waived(x: Option<u32>) -> u32 {
+    // anu-lint: allow(panic)
+    x.unwrap()
+}
+
+/// A waiver naming an unknown lint is itself a violation.
+pub fn unknown_waiver() {
+    // anu-lint: allow(nonsense) -- not a lint name
+}

@@ -1,0 +1,5 @@
+//! Fixture binary: the panic policy does not apply to entry points.
+
+fn main() {
+    std::env::args().next().unwrap();
+}

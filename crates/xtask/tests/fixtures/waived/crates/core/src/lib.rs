@@ -1,0 +1,19 @@
+//! Fixture crate: every violation carries a justified waiver, including a
+//! same-line waiver and a comma-separated multi-lint waiver.
+
+/// Clock read, waived from the line above.
+pub fn waived_clock() {
+    // anu-lint: allow(wall-clock) -- fixture exercising the waiver path
+    let _t = std::time::Instant::now();
+}
+
+/// Hash map, waived on the same line.
+pub fn waived_map() {
+    let _m: HashMap<u32, u32> = HashMap::new(); // anu-lint: allow(hash-iteration) -- same-line waiver
+}
+
+/// Entropy and panic together, waived by one multi-lint comment.
+pub fn waived_pair(x: Option<u32>) -> u32 {
+    // anu-lint: allow(thread-rng, panic) -- fixture: both lints fire on the next line
+    thread_rng(x).unwrap()
+}

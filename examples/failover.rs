@@ -55,10 +55,7 @@ fn main() {
         result.summary.offered_requests,
         result.summary.migrations
     );
-    println!(
-        "server 3 fails at {:.0} s and recovers at {:.0} s\n",
-        fail_at, recover_at
-    );
+    println!("server 3 fails at {fail_at:.0} s and recovers at {recover_at:.0} s\n");
 
     println!("cluster mean latency per 2-minute window (ms):");
     let buckets = &result.series[&ServerId(0)];
@@ -79,7 +76,7 @@ fn main() {
         } else {
             "+" // recovered
         };
-        println!("  [{marker}] min {:>2}: {:>9.1}", w, mean);
+        println!("  [{marker}] min {w:>2}: {mean:>9.1}");
     }
 
     // Server 3 served nothing while dead.

@@ -21,7 +21,7 @@ fn main() {
 
     println!("initial shares (equal, no a-priori knowledge):");
     for (s, f) in map.share_fractions() {
-        println!("  {s}: {:.3}", f);
+        println!("  {s}: {f:.3}");
     }
     let count_owned =
         |map: &PlacementMap, s: ServerId| file_sets.iter().filter(|n| map.locate(n) == s).count();
@@ -63,7 +63,7 @@ fn main() {
 
     println!("shares after tuning (server 0 shed load):");
     for (s, f) in map.share_fractions() {
-        println!("  {s}: {:.3}", f);
+        println!("  {s}: {f:.3}");
     }
     println!("ownership after tuning:");
     for &s in &servers {

@@ -1,0 +1,30 @@
+//! The shipped tree must pass `anu-xtask check` with zero unwaived
+//! violations — the same gate `ci/check.sh` runs, enforced as a tier-1
+//! test so a plain `cargo test` catches lint regressions too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unwaived_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = anu_xtask::scan_workspace(root).expect("workspace tree readable");
+    assert!(report.files_scanned > 40, "scan missed the workspace");
+    assert!(
+        report.clean(),
+        "unwaived lint violations in the shipped tree:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn all_library_crates_fully_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = anu_xtask::scan_workspace(root).expect("workspace tree readable");
+    for (krate, cov) in &report.doc_coverage {
+        assert_eq!(
+            cov.documented, cov.total,
+            "{krate}: {}/{} pub items documented",
+            cov.documented, cov.total
+        );
+    }
+}
