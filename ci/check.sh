@@ -1,26 +1,74 @@
 #!/usr/bin/env bash
 # Local CI gate. Runs everything a PR must pass, in cheap-to-expensive
-# order: formatting, the clippy wall, the repo's own lint driver, then the
-# tier-1 build and test suite. Fails fast on the first broken step.
+# order: formatting, the clippy wall (default and no-default-features),
+# the repo's own lint driver, the tier-1 build and test suite, and the
+# figures determinism gate (parallel run byte-identical to serial).
+# Fails fast on the first broken step and prints a per-step timing
+# summary at the end.
+#
+# Usage: ci/check.sh [--quick]
+#   --quick   skip the release build and the figures gate; run the debug
+#             test suite only. For fast local iteration — the full gate
+#             still runs in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-step() { printf '\n==> %s\n' "$*"; }
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "unknown argument: $arg (usage: ci/check.sh [--quick])" >&2; exit 2 ;;
+    esac
+done
+
+STEP_NAMES=()
+STEP_SECS=()
+CURRENT_STEP=""
+STEP_T0=0
+
+finish_step() {
+    if [[ -n "$CURRENT_STEP" ]]; then
+        STEP_NAMES+=("$CURRENT_STEP")
+        STEP_SECS+=($(( SECONDS - STEP_T0 )))
+    fi
+}
+
+step() {
+    finish_step
+    CURRENT_STEP="$*"
+    STEP_T0=$SECONDS
+    printf '\n==> %s\n' "$*"
+}
+
+summary() {
+    finish_step
+    printf '\n==> timing summary\n'
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+        printf '  %4ds  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+    done
+}
 
 step "cargo fmt --check"
 cargo fmt --all --check
 
-# Clippy may be absent on minimal toolchains; the wall is still enforced
-# in CI proper, so skip gracefully rather than failing the local gate.
-if cargo clippy --version >/dev/null 2>&1; then
-    step "cargo clippy --workspace -- -D warnings"
-    cargo clippy --workspace --all-targets -- -D warnings
-else
-    step "clippy not installed; skipping (install with: rustup component add clippy)"
-fi
+step "cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo clippy --workspace --no-default-features -- -D warnings"
+cargo clippy --workspace --all-targets --no-default-features -- -D warnings
 
 step "anu-xtask check (determinism, soundness, panic policy, doc coverage)"
 cargo run -q -p anu-xtask -- check
+
+if [[ "$QUICK" == 1 ]]; then
+    step "tier-1: cargo test (debug, --quick)"
+    cargo test -q
+
+    summary
+    printf '\n==> quick checks passed (release build and figures gate skipped)\n'
+    exit 0
+fi
 
 step "tier-1: cargo build --release"
 cargo build --release
@@ -28,4 +76,18 @@ cargo build --release
 step "tier-1: cargo test"
 cargo test -q
 
-step "all checks passed"
+step "figures determinism gate (--jobs \$(nproc) vs --jobs 1)"
+JOBS="$(nproc)"
+SERIAL_DIR="$(mktemp -d)"
+trap 'rm -rf "$SERIAL_DIR"' EXIT
+# Parallel run writes the canonical out/ CSVs and the bench manifest and
+# enforces every figure's shape checks (non-zero exit on any FAIL)...
+./target/release/figures --jobs "$JOBS" --out out --bench-out BENCH_figures.json
+# ...then a serial re-run must reproduce the same bytes.
+./target/release/figures --jobs 1 --out "$SERIAL_DIR/out" \
+    --bench-out "$SERIAL_DIR/BENCH_figures.json" >/dev/null
+diff -r out "$SERIAL_DIR/out"
+echo "out/ is byte-identical at --jobs $JOBS and --jobs 1"
+
+summary
+printf '\n==> all checks passed\n'

@@ -38,6 +38,11 @@ pub struct RunSummary {
     pub per_server_utilization: BTreeMap<ServerId, f64>,
     /// Number of file-set migrations performed.
     pub migrations: u64,
+    /// Total discrete events processed by the simulation loop (arrivals,
+    /// completions, ticks, migrations, faults) — the denominator-free
+    /// measure of simulation work that perf manifests report as
+    /// events/second.
+    pub sim_events: u64,
     /// Steady-state imbalance: coefficient of variation of per-server mean
     /// latency over the second half of the run (idle servers included).
     pub late_imbalance_cov: f64,

@@ -75,6 +75,7 @@ struct World<'a> {
     horizon: SimTime,
     migration_count: u64,
     max_latency_ms: f64,
+    event_count: u64,
 }
 
 impl<'a> World<'a> {
@@ -281,6 +282,7 @@ pub fn run(
         horizon,
         migration_count: 0,
         max_latency_ms: 0.0,
+        event_count: 0,
     };
 
     // Initial placement: every file set must land on an alive server.
@@ -318,6 +320,7 @@ pub fn run(
 
     // Main loop.
     while let Some((now, ev)) = world.cal.pop() {
+        world.event_count += 1;
         match ev {
             Event::Arrival(i) => world.handle_arrival(i),
             Event::Complete(s) => world.handle_complete(s),
@@ -420,6 +423,7 @@ pub fn run(
         per_server_requests,
         per_server_utilization,
         migrations: world.migration_count,
+        sim_events: world.event_count,
         late_imbalance_cov: late_imbalance(&series),
         late_mean_latency_ms: late_mean(&series),
     };
@@ -532,6 +536,8 @@ mod tests {
         assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
         assert_eq!(r.summary.migrations, 0);
         assert!(r.summary.mean_latency_ms > 0.0);
+        // Every request is at least an arrival plus a completion event.
+        assert!(r.summary.sim_events >= 2 * r.summary.offered_requests);
     }
 
     #[test]

@@ -104,6 +104,11 @@ impl Json {
         }
     }
 
+    /// A boolean value.
+    pub fn bool(v: bool) -> Json {
+        Json::Bool(v)
+    }
+
     /// A string value.
     pub fn str(v: impl Into<String>) -> Json {
         Json::Str(v.into())
@@ -637,5 +642,12 @@ mod tests {
     fn insertion_order_preserved() {
         let v = Json::obj(vec![("z", Json::u64(1)), ("a", Json::u64(2))]);
         assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn bool_ctor_renders_literals() {
+        assert_eq!(Json::bool(true).render(), "true");
+        assert_eq!(Json::bool(false).render(), "false");
+        assert!(Json::bool(true).as_bool().unwrap());
     }
 }

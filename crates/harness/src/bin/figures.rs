@@ -1,26 +1,41 @@
-//! Regenerate every evaluation figure of the paper.
+//! Regenerate every evaluation figure of the paper on the parallel sweep
+//! engine.
 //!
 //! ```text
-//! figures [--fig N] [--seed S] [--out DIR] [--series]
+//! figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR]
+//!         [--bench-out FILE] [--series] [--plot]
 //! ```
 //!
-//! For each figure: runs all its policies, writes per-policy CSV series to
-//! `--out` (default `out/`), prints the cross-policy summary table and the
-//! qualitative shape-check verdicts. `--series` additionally prints the
-//! full minute-by-minute latency table (the raw figure data).
+//! The full {figure × policy × seed} grid is enumerated as independent
+//! tasks and drained by `J` workers (default: one per core). Results,
+//! CSVs and PASS/FAIL verdicts are byte-identical at any `--jobs` value,
+//! including `--jobs 1` — parallelism only changes wall time.
+//!
+//! For each figure: writes per-policy CSV series to `--out` (default
+//! `out/`), prints the cross-policy summary table and the qualitative
+//! shape-check verdicts. `--seeds K` widens the grid to `K` seeds (the
+//! base seed plus `K-1` derived via the SplitMix64 task-seed path; derived
+//! seeds' CSVs are tagged `_s<seed>`). `--series` additionally prints the
+//! full minute-by-minute latency table. A machine-readable perf manifest
+//! (wall time, per-task simulated events/sec, verdicts) is written to
+//! `--bench-out` (default `BENCH_figures.json`).
 
+use anu_harness::runner;
 use anu_harness::{
-    check_closeup, check_decomposition, check_four_policy, check_overtuning, fig10, fig11, fig6,
-    fig7, fig8, fig9, series_table, sparklines, summary_table, write_figure_csvs, Experiment,
-    ShapeCheck, DEFAULT_SEED,
+    checks_for, checks_table, figure, series_table, sparklines, summary_table,
+    write_figure_csvs_tagged, Experiment, FigureVerdict, DEFAULT_SEED, FIGURE_NUMBERS,
+    PLAIN_ANU_LABEL,
 };
-use std::io::Write;
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     fig: Option<u32>,
     seed: u64,
+    seeds: u64,
+    jobs: usize,
     out: PathBuf,
+    bench_out: PathBuf,
     series: bool,
     plot: bool,
 }
@@ -29,7 +44,10 @@ fn parse_args() -> Args {
     let mut args = Args {
         fig: None,
         seed: DEFAULT_SEED,
+        seeds: 1,
+        jobs: 0,
         out: PathBuf::from("out"),
+        bench_out: PathBuf::from("BENCH_figures.json"),
         series: false,
         plot: false,
     };
@@ -49,11 +67,29 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs an integer")
             }
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .expect("--seeds needs a count >= 1")
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a worker count (0 = one per core)")
+            }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
+            "--bench-out" => {
+                args.bench_out = PathBuf::from(it.next().expect("--bench-out needs a path"))
+            }
             "--series" => args.series = true,
             "--plot" => args.plot = true,
             "--help" | "-h" => {
-                println!("usage: figures [--fig N] [--seed S] [--out DIR] [--series] [--plot]");
+                println!(
+                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--series] [--plot]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -65,91 +101,173 @@ fn parse_args() -> Args {
     args
 }
 
-fn print_checks(checks: &[ShapeCheck]) {
-    let mut out = std::io::stdout().lock();
-    for c in checks {
-        writeln!(
-            out,
-            "  [{}] {}\n        measured: {}",
-            if c.pass { "PASS" } else { "FAIL" },
-            c.claim,
-            c.measured
-        )
-        .unwrap();
-    }
+/// One grid entry: an experiment plus what to do with its results.
+struct Entry {
+    figure: u32,
+    seed: u64,
+    /// CSV tag for derived seeds (None keeps the canonical names).
+    tag: Option<String>,
+    /// Print and write this entry (support runs are checks-only inputs).
+    emit: bool,
 }
 
-fn run_figure(n: u32, args: &Args) -> bool {
-    let exp: Experiment = match n {
-        6 => fig6(args.seed),
-        7 => fig7(args.seed),
-        8 => fig8(args.seed),
-        9 => fig9(args.seed),
-        10 => fig10(args.seed),
-        11 => fig11(args.seed),
-        _ => {
-            eprintln!("no figure {n}; the evaluation figures are 6..=11");
-            std::process::exit(2);
+/// Enumerate the figure/seed grid. When figure 11 is requested without
+/// figure 10, a checks-only "support" run of the fig10 no-heuristics
+/// policy is appended per seed, so the decomposition baseline comes from
+/// the same pooled sweep instead of a separate serial run.
+fn build_grid(figures: &[u32], seeds: &[u64]) -> (Vec<Experiment>, Vec<Entry>) {
+    let mut exps = Vec::new();
+    let mut entries = Vec::new();
+    let needs_support = figures.contains(&11) && !figures.contains(&10);
+    for (si, &seed) in seeds.iter().enumerate() {
+        let tag = (si > 0).then(|| format!("s{seed}"));
+        for &n in figures {
+            let exp = figure(n, seed).unwrap_or_else(|| {
+                eprintln!("no figure {n}; the evaluation figures are 6..=11");
+                std::process::exit(2);
+            });
+            exps.push(exp);
+            entries.push(Entry {
+                figure: n,
+                seed,
+                tag: tag.clone(),
+                emit: true,
+            });
         }
-    };
-    let stats = exp.workload.stats();
-    println!(
-        "\n=== Figure {n} ({}) — {} requests, {} file sets, {:.0} s, {} policies ===",
-        exp.name,
-        stats.total_requests,
-        exp.workload.n_file_sets,
-        stats.duration_secs,
-        exp.policies.len()
-    );
-    let results = exp.run_all();
-    println!("{}", summary_table(&results));
-    if args.series {
-        for r in &results {
-            println!("{}", series_table(r));
+        if needs_support {
+            let mut plain = figure(10, seed).expect("figure 10 exists");
+            plain
+                .policies
+                .retain(|(l, _)| l.as_str() == PLAIN_ANU_LABEL);
+            plain.name = "fig10-plain".into();
+            exps.push(plain);
+            entries.push(Entry {
+                figure: 10,
+                seed,
+                tag: tag.clone(),
+                emit: false,
+            });
         }
     }
-    if args.plot {
-        for r in &results {
-            println!("{}", sparklines(r));
-        }
-    }
-    let paths = write_figure_csvs(&exp.name, &results, &args.out).expect("write CSVs");
-    println!(
-        "  wrote {} CSV series to {}",
-        paths.len(),
-        args.out.display()
-    );
+    (exps, entries)
+}
 
-    let tick_buckets = (exp.cluster.tick.0 / exp.cluster.series_bucket.0).max(1) as usize;
-    let checks = match n {
-        6 | 8 => check_four_policy(&results),
-        7 | 9 => check_closeup(&results, tick_buckets),
-        10 => check_overtuning(&results),
-        11 => {
-            // Figure 11 compares against the no-heuristics run of Fig 10a.
-            let plain = fig10(args.seed)
-                .run_one("anu-no-heuristics")
-                .expect("plain ANU run");
-            check_decomposition(&plain, &results)
-        }
-        _ => unreachable!(),
-    };
-    print_checks(&checks);
-    checks.iter().all(|c| c.pass)
+/// The `anu-no-heuristics` baseline result for `seed`, from whichever grid
+/// entry ran it (the full figure 10 when present, the support run
+/// otherwise).
+fn find_plain<'a>(
+    entries: &[Entry],
+    grouped: &'a [Vec<runner::TaskOutcome>],
+    seed: u64,
+) -> Option<&'a anu_cluster::RunResult> {
+    entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.figure == 10 && e.seed == seed)
+        .flat_map(|(i, _)| &grouped[i])
+        .map(|o| &o.result)
+        .find(|r| r.policy == PLAIN_ANU_LABEL)
 }
 
 fn main() {
     let args = parse_args();
     let figures: Vec<u32> = match args.fig {
         Some(n) => vec![n],
-        None => vec![6, 7, 8, 9, 10, 11],
+        None => FIGURE_NUMBERS.to_vec(),
     };
-    let mut all_pass = true;
-    for n in figures {
-        all_pass &= run_figure(n, &args);
-    }
+    let seeds: Vec<u64> = (0..args.seeds)
+        .map(|i| anu_des::task_seed(args.seed, i))
+        .collect();
+
+    let (exps, entries) = build_grid(&figures, &seeds);
+    let jobs = runner::effective_jobs(args.jobs);
     println!(
-        "\noverall: {}",
+        "sweep grid: {} figures x {} seeds -> {} tasks on {} workers",
+        figures.len(),
+        seeds.len(),
+        runner::plan(&exps).len(),
+        jobs
+    );
+
+    let t0 = Instant::now();
+    let outcomes = runner::run_grid(&exps, jobs);
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    // Regroup outcomes per experiment, in task order.
+    let mut grouped: Vec<Vec<runner::TaskOutcome>> = Vec::new();
+    grouped.resize_with(exps.len(), Vec::new);
+    for o in outcomes {
+        grouped[o.task.experiment].push(o);
+    }
+
+    let mut verdicts: Vec<FigureVerdict> = Vec::new();
+    let mut all_pass = true;
+    for (i, entry) in entries.iter().enumerate() {
+        if !entry.emit {
+            continue;
+        }
+        let exp = &exps[i];
+        let results: Vec<anu_cluster::RunResult> =
+            grouped[i].iter().map(|o| o.result.clone()).collect();
+        let stats = exp.workload.stats();
+        println!(
+            "\n=== Figure {} ({}, seed {}) — {} requests, {} file sets, {:.0} s, {} policies ===",
+            entry.figure,
+            exp.name,
+            entry.seed,
+            stats.total_requests,
+            exp.workload.n_file_sets,
+            stats.duration_secs,
+            exp.policies.len()
+        );
+        println!("{}", summary_table(&results));
+        if args.series {
+            for r in &results {
+                println!("{}", series_table(r));
+            }
+        }
+        if args.plot {
+            for r in &results {
+                println!("{}", sparklines(r));
+            }
+        }
+        let paths = write_figure_csvs_tagged(&exp.name, entry.tag.as_deref(), &results, &args.out)
+            .expect("write CSVs");
+        println!(
+            "  wrote {} CSV series to {}",
+            paths.len(),
+            args.out.display()
+        );
+
+        let tick_buckets = (exp.cluster.tick.0 / exp.cluster.series_bucket.0).max(1) as usize;
+        let plain = find_plain(&entries, &grouped, entry.seed);
+        let checks = checks_for(entry.figure, &results, plain, tick_buckets);
+        print!("{}", checks_table(&checks));
+        all_pass &= checks.iter().all(|c| c.pass);
+        verdicts.push(FigureVerdict {
+            figure: entry.figure,
+            seed: entry.seed,
+            checks,
+        });
+    }
+
+    // Flatten back to task order for the manifest.
+    let outcomes: Vec<runner::TaskOutcome> = {
+        let mut all: Vec<runner::TaskOutcome> = grouped.into_iter().flatten().collect();
+        all.sort_by_key(|o| o.task.id);
+        all
+    };
+    let events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
+    let manifest = runner::manifest(args.seed, jobs, wall_secs, &outcomes, &verdicts);
+    std::fs::write(&args.bench_out, manifest.render_pretty()).expect("write bench manifest");
+    println!(
+        "\n{} tasks, {events} simulated events in {wall_secs:.2} s on {jobs} workers ({:.0} events/s) -> {}",
+        outcomes.len(),
+        events as f64 / wall_secs.max(1e-9),
+        args.bench_out.display()
+    );
+    println!(
+        "overall: {}",
         if all_pass {
             "all shape checks PASS"
         } else {

@@ -1,8 +1,12 @@
 //! Ablation and sensitivity sweeps beyond the paper's figures.
 //!
 //! ```text
-//! sweep [--seed S] [--study NAME]
+//! sweep [--seed S] [--study NAME] [--jobs J]
 //! ```
+//!
+//! `--jobs J` sets the worker-pool width every study's `run_all` uses
+//! (0 = one per core). Results are identical at any `J`; only wall time
+//! changes.
 //!
 //! Studies:
 //! * `average`    — weighted-mean vs median delegate average (paper §4
@@ -524,8 +528,13 @@ fn main() {
         match a.as_str() {
             "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed"),
             "--study" => study = Some(it.next().expect("--study needs a name")),
+            "--jobs" => anu_harness::set_default_jobs(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a worker count (0 = one per core)"),
+            ),
             "--help" | "-h" => {
-                println!("usage: sweep [--seed S] [--study average|threshold|gamma|homogeneous|churn|decentralized|failover|crossover|convergence|scale|motivation|hashing]");
+                println!("usage: sweep [--seed S] [--jobs J] [--study average|threshold|gamma|homogeneous|churn|decentralized|failover|crossover|convergence|scale|motivation|hashing]");
                 return;
             }
             other => {

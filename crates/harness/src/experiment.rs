@@ -113,34 +113,20 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Run every policy, in parallel, returning results in declaration
-    /// order.
+    /// Run every policy on the deterministic worker pool (one worker per
+    /// available core, unless [`crate::runner::set_default_jobs`]
+    /// overrides it), returning results in declaration order. Results are
+    /// identical at any worker count.
     pub fn run_all(&self) -> Vec<RunResult> {
-        let mut out: Vec<Option<RunResult>> = Vec::new();
-        out.resize_with(self.policies.len(), || None);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, (label, kind)) in self.policies.iter().enumerate() {
-                let cluster = &self.cluster;
-                let workload = &self.workload;
-                let seed = self.seed;
-                handles.push((
-                    i,
-                    scope.spawn(move || {
-                        let mut policy = kind.build(cluster, workload, seed);
-                        let mut r = anu_cluster::run(cluster, workload, policy.as_mut());
-                        r.policy = label.clone();
-                        r
-                    }),
-                ));
-            }
-            for (i, h) in handles {
-                // anu-lint: allow(panic) -- propagate a worker panic instead of reporting partial results
-                out[i] = Some(h.join().expect("simulation thread panicked"));
-            }
-        });
-        // anu-lint: allow(panic) -- the join loop above fills every slot
-        out.into_iter().map(|r| r.expect("filled")).collect()
+        self.run_with_jobs(0)
+    }
+
+    /// [`Self::run_all`] with an explicit worker count (0 = auto).
+    pub fn run_with_jobs(&self, jobs: usize) -> Vec<RunResult> {
+        crate::runner::run_grid(std::slice::from_ref(self), jobs)
+            .into_iter()
+            .map(|o| o.result)
+            .collect()
     }
 
     /// Run a single policy by label (for focused tests).
@@ -212,6 +198,18 @@ mod tests {
             let seq = e.run_one(label).unwrap();
             let p = par.iter().find(|r| &r.policy == label).unwrap();
             assert_eq!(seq.summary, p.summary, "{label}");
+        }
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_results() {
+        let e = tiny();
+        let one = e.run_with_jobs(1);
+        let four = e.run_with_jobs(4);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.summary, b.summary, "{}", a.policy);
         }
     }
 

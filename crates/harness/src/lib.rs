@@ -7,7 +7,11 @@
 //! * [`figures`] — one constructor per figure and the qualitative *shape
 //!   checks* each figure makes (who wins, what converges, what
 //!   oscillates);
-//! * [`report`] — text tables and CSV emission.
+//! * [`runner`] — the deterministic parallel sweep engine: the
+//!   figure/seed grid as independent tasks, drained by a scoped-thread
+//!   worker pool with byte-identical outputs at any `--jobs N`, plus the
+//!   `BENCH_figures.json` perf manifest;
+//! * [`report`] — text tables, CSV emission, and verdict rendering.
 //!
 //! Binaries: `figures` regenerates every figure's series and prints the
 //! shape-check verdicts; `sweep` runs the ablation studies (average kind,
@@ -19,10 +23,19 @@
 pub mod experiment;
 pub mod figures;
 pub mod report;
+pub mod runner;
 
 pub use experiment::{Experiment, PolicyKind, PrescientWindow};
 pub use figures::{
-    all_figures, check_closeup, check_decomposition, check_four_policy, check_overtuning, fig10,
-    fig11, fig6, fig7, fig8, fig9, reduced, ShapeCheck, DEFAULT_SEED,
+    all_figures, check_closeup, check_decomposition, check_four_policy, check_overtuning,
+    checks_for, fig10, fig11, fig6, fig7, fig8, fig9, figure, reduced, ShapeCheck, DEFAULT_SEED,
+    FIGURE_NUMBERS, PLAIN_ANU_LABEL,
 };
-pub use report::{series_table, sparklines, summary_table, write_figure_csvs, write_series_csv};
+pub use report::{
+    checks_table, series_table, sparklines, summary_table, write_figure_csvs,
+    write_figure_csvs_tagged, write_series_csv,
+};
+pub use runner::{
+    effective_jobs, manifest, plan, run_grid, set_default_jobs, strip_timing, FigureVerdict,
+    SimTask, TaskOutcome, MANIFEST_SCHEMA,
+};

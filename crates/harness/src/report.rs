@@ -1,5 +1,7 @@
-//! Reporting: figure series as text tables and CSV files.
+//! Reporting: figure series as text tables, CSV files, and shape-check
+//! verdict tables.
 
+use crate::figures::ShapeCheck;
 use anu_cluster::{late_imbalance, late_mean, RunResult};
 use std::fmt::Write as _;
 use std::io;
@@ -108,6 +110,19 @@ pub fn write_figure_csvs(
     results: &[RunResult],
     dir: &Path,
 ) -> io::Result<Vec<std::path::PathBuf>> {
+    write_figure_csvs_tagged(figure, None, results, dir)
+}
+
+/// [`write_figure_csvs`] with an optional tag inserted after the figure
+/// name (`<figure>_<tag>_<policy>.csv`). Multi-seed sweeps tag each seed's
+/// series (`fig6_s42_anu_randomization.csv`) so grids don't collide; the
+/// base seed stays untagged and keeps the canonical `out/` names.
+pub fn write_figure_csvs_tagged(
+    figure: &str,
+    tag: Option<&str>,
+    results: &[RunResult],
+    dir: &Path,
+) -> io::Result<Vec<std::path::PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::new();
     for r in results {
@@ -116,11 +131,37 @@ pub fn write_figure_csvs(
             .chars()
             .map(|c| if c.is_alphanumeric() { c } else { '_' })
             .collect();
-        let p = dir.join(format!("{figure}_{safe}.csv"));
+        let name = match tag {
+            Some(t) => format!("{figure}_{t}_{safe}.csv"),
+            None => format!("{figure}_{safe}.csv"),
+        };
+        let p = dir.join(name);
         write_series_csv(r, &p)?;
         paths.push(p);
     }
     Ok(paths)
+}
+
+/// Render shape-check verdicts as the `[PASS]`/`[FAIL]` block the
+/// `figures` binary prints:
+///
+/// ```text
+///   [PASS] adaptive policies beat both static policies in steady state
+///         measured: late mean ms — simple 87844.1, ...
+/// ```
+pub fn checks_table(checks: &[ShapeCheck]) -> String {
+    let mut out = String::new();
+    for c in checks {
+        writeln!(
+            out,
+            "  [{}] {}\n        measured: {}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.claim,
+            c.measured
+        )
+        .ok();
+    }
+    out
 }
 
 #[cfg(test)]
@@ -178,6 +219,34 @@ mod tests {
         // Only ramp characters between the label and the peak annotation.
         let row = s.lines().nth(1).unwrap();
         assert!(row.chars().any(|c| "▁▂▃▄▅▆▇█".contains(c)));
+    }
+
+    #[test]
+    fn checks_table_marks_pass_and_fail() {
+        let t = checks_table(&[
+            ShapeCheck {
+                claim: "good".into(),
+                measured: "1 < 2".into(),
+                pass: true,
+            },
+            ShapeCheck {
+                claim: "bad".into(),
+                measured: "2 > 1".into(),
+                pass: false,
+            },
+        ]);
+        assert!(t.contains("[PASS] good"));
+        assert!(t.contains("[FAIL] bad"));
+        assert!(t.contains("measured: 1 < 2"));
+    }
+
+    #[test]
+    fn tagged_csv_names_include_tag() {
+        let rs = quick_result();
+        let dir = std::env::temp_dir().join("anu_report_tag_test");
+        let paths = write_figure_csvs_tagged("fig6", Some("s42"), &rs, &dir).unwrap();
+        assert!(paths[0].ends_with("fig6_s42_rr.csv"), "{:?}", paths[0]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

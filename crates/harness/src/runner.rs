@@ -1,0 +1,477 @@
+//! Deterministic parallel sweep engine.
+//!
+//! The paper's evaluation is a grid of {figure × policy × seed}
+//! simulations, each an independent, fully deterministic unit of work.
+//! This module enumerates that grid as [`SimTask`]s and drains it on a
+//! fixed-size worker pool (std scoped threads over a shared atomic work
+//! queue — no external dependencies), recording per-task wall time and
+//! simulated-event throughput as it goes.
+//!
+//! ## Determinism contract
+//!
+//! Results are a pure function of the grid, never of the schedule:
+//!
+//! * every task's simulation inputs (workload, policy seed) are fixed at
+//!   enumeration time — derived seeds come from
+//!   [`anu_des::random::task_seed`]`(base_seed, task_id)`, a pure SplitMix64
+//!   function of the task's stable id;
+//! * workers only *pick* tasks through the shared queue; each simulation
+//!   runs single-threaded and shares no mutable state with its siblings;
+//! * outcomes are stored by task id, so the returned order (and any CSV or
+//!   verdict derived from it) is identical at `--jobs 1` and `--jobs N`.
+//!
+//! Only the timing fields of a [`TaskOutcome`] (wall seconds, events/sec)
+//! vary between runs; [`strip_timing`] removes them from a manifest so two
+//! runs can be compared for semantic equality.
+
+use crate::experiment::Experiment;
+use crate::figures::ShapeCheck;
+use anu_cluster::RunResult;
+use anu_core::Json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Manifest schema identifier; bump when the shape of
+/// `BENCH_figures.json` changes incompatibly.
+pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v1";
+
+/// Requested worker count for [`Experiment::run_all`] when the caller does
+/// not pass one explicitly; 0 means "one worker per available core".
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker count used by [`Experiment::run_all`] (and therefore by
+/// every sweep study) when no explicit count is given. 0 restores the
+/// default of one worker per available core.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Resolve a requested worker count: 0 (auto) becomes the number of
+/// available cores, and anything else is used as-is.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let configured = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One cell of the sweep grid: a single `(experiment, policy)` simulation.
+#[derive(Clone, Debug)]
+pub struct SimTask {
+    /// Stable id: the task's index in grid-enumeration order. Seed
+    /// derivation and result ordering key off this, never off the
+    /// execution schedule.
+    pub id: u64,
+    /// Index of the experiment in the submitted slice.
+    pub experiment: usize,
+    /// Index of the policy within that experiment's lineup.
+    pub policy: usize,
+    /// Experiment name (e.g. `fig8`), denormalized for reporting.
+    pub name: String,
+    /// Policy label (e.g. `anu-randomization`), denormalized for reporting.
+    pub label: String,
+    /// The experiment seed this task simulates under.
+    pub seed: u64,
+}
+
+/// A completed [`SimTask`]: its simulation result plus performance
+/// accounting. Everything except `wall_secs` / `events_per_sec` is
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct TaskOutcome {
+    /// The task that ran.
+    pub task: SimTask,
+    /// The simulation result (series + summary), identical at any worker
+    /// count.
+    pub result: RunResult,
+    /// Wall-clock seconds this task's simulation took (timing field).
+    pub wall_secs: f64,
+    /// Simulated events per wall-clock second (timing field).
+    pub events_per_sec: f64,
+}
+
+/// Enumerate the sweep grid of `experiments` in declaration order:
+/// experiment-major, then policy. Task ids are assigned sequentially, so
+/// the grid — and every seed derived from it — is independent of how the
+/// tasks later get scheduled.
+pub fn plan(experiments: &[Experiment]) -> Vec<SimTask> {
+    let mut tasks = Vec::new();
+    for (ei, exp) in experiments.iter().enumerate() {
+        for (pi, (label, _)) in exp.policies.iter().enumerate() {
+            tasks.push(SimTask {
+                id: tasks.len() as u64,
+                experiment: ei,
+                policy: pi,
+                name: exp.name.clone(),
+                label: label.clone(),
+                seed: exp.seed,
+            });
+        }
+    }
+    tasks
+}
+
+/// Run every `(experiment, policy)` cell of the grid on `jobs` workers
+/// (0 = auto) and return the outcomes in task order.
+///
+/// Workers share one atomic cursor over the planned task list: each
+/// `fetch_add` claims the next undone task, so the pool drains the queue
+/// without idle tails even when task durations are wildly uneven (a fig8
+/// synthetic run costs ~10× a fig7 close-up). A panicking simulation
+/// propagates out of the scope and fails the whole sweep — partial grids
+/// are never reported.
+pub fn run_grid(experiments: &[Experiment], jobs: usize) -> Vec<TaskOutcome> {
+    let tasks = plan(experiments);
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let workers = effective_jobs(jobs).min(tasks.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let done: Vec<Mutex<Option<TaskOutcome>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let outcome = run_task(task, &experiments[task.experiment]);
+                // anu-lint: allow(panic) -- slot mutexes are uncontended (each task writes its own) and a poisoned lock means a sibling already aborted the sweep
+                *done[i].lock().expect("unpoisoned slot") = Some(outcome);
+            });
+        }
+    });
+
+    done.into_iter()
+        .map(|slot| {
+            // anu-lint: allow(panic) -- the scope joins every worker, so each slot was filled exactly once
+            slot.into_inner().expect("unpoisoned slot").expect("filled")
+        })
+        .collect()
+}
+
+/// Run one task's simulation, timing it.
+fn run_task(task: &SimTask, exp: &Experiment) -> TaskOutcome {
+    let (label, kind) = &exp.policies[task.policy];
+    let t0 = Instant::now();
+    let mut policy = kind.build(&exp.cluster, &exp.workload, exp.seed);
+    let mut result = anu_cluster::run(&exp.cluster, &exp.workload, policy.as_mut());
+    result.policy = label.clone();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let events_per_sec = if wall_secs > 0.0 {
+        result.summary.sim_events as f64 / wall_secs
+    } else {
+        0.0
+    };
+    TaskOutcome {
+        task: task.clone(),
+        result,
+        wall_secs,
+        events_per_sec,
+    }
+}
+
+/// Regroup grid outcomes by experiment, preserving policy order — the
+/// shape the per-figure check functions and CSV writers consume. The
+/// returned vector has one entry per submitted experiment.
+pub fn group_results(outcomes: Vec<TaskOutcome>, n_experiments: usize) -> Vec<Vec<RunResult>> {
+    let mut grouped: Vec<Vec<RunResult>> = Vec::new();
+    grouped.resize_with(n_experiments, Vec::new);
+    // Outcomes arrive in task order (experiment-major), so pushing in
+    // sequence lands each result at its policy index.
+    for o in outcomes {
+        grouped[o.task.experiment].push(o.result);
+    }
+    grouped
+}
+
+/// One figure's shape-check verdicts for the manifest.
+#[derive(Clone, Debug)]
+pub struct FigureVerdict {
+    /// Paper figure number (6–11).
+    pub figure: u32,
+    /// Seed the figure ran under.
+    pub seed: u64,
+    /// The qualitative checks and their outcomes.
+    pub checks: Vec<ShapeCheck>,
+}
+
+impl FigureVerdict {
+    /// Did every check pass?
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// Build the machine-readable run manifest (`BENCH_figures.json`).
+///
+/// The schema is stable so CI can archive one manifest per commit and
+/// future changes can regress against the trajectory: timing fields
+/// (`wall_secs`, `events_per_sec`, `jobs`) measure the run; everything
+/// else — task grid, seeds, simulated event counts, verdicts — is
+/// deterministic and must be identical at any worker count (see
+/// [`strip_timing`]).
+pub fn manifest(
+    base_seed: u64,
+    jobs: usize,
+    wall_secs: f64,
+    outcomes: &[TaskOutcome],
+    verdicts: &[FigureVerdict],
+) -> Json {
+    let total_events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
+    let events_per_sec = if wall_secs > 0.0 {
+        total_events as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let tasks: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            Json::obj(vec![
+                ("id", Json::u64(o.task.id)),
+                ("experiment", Json::str(&o.task.name)),
+                ("policy", Json::str(&o.task.label)),
+                ("seed", Json::u64(o.task.seed)),
+                ("sim_events", Json::u64(o.result.summary.sim_events)),
+                (
+                    "completed_requests",
+                    Json::u64(o.result.summary.completed_requests),
+                ),
+                ("migrations", Json::u64(o.result.summary.migrations)),
+                ("wall_secs", Json::f64(o.wall_secs)),
+                ("events_per_sec", Json::f64(o.events_per_sec)),
+            ])
+        })
+        .collect();
+    let figures: Vec<Json> = verdicts
+        .iter()
+        .map(|v| {
+            let checks: Vec<Json> = v
+                .checks
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("claim", Json::str(&c.claim)),
+                        ("measured", Json::str(&c.measured)),
+                        ("pass", Json::bool(c.pass)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("figure", Json::u32(v.figure)),
+                ("seed", Json::u64(v.seed)),
+                ("pass", Json::bool(v.pass())),
+                ("checks", Json::arr(checks)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str(MANIFEST_SCHEMA)),
+        ("base_seed", Json::u64(base_seed)),
+        ("jobs", Json::usize(jobs)),
+        ("tasks_total", Json::usize(outcomes.len())),
+        ("sim_events_total", Json::u64(total_events)),
+        ("wall_secs", Json::f64(wall_secs)),
+        ("events_per_sec", Json::f64(events_per_sec)),
+        (
+            "all_pass",
+            Json::bool(verdicts.iter().all(FigureVerdict::pass)),
+        ),
+        ("tasks", Json::arr(tasks)),
+        ("figures", Json::arr(figures)),
+    ])
+}
+
+/// Keys of manifest fields that legitimately differ between two runs of
+/// the same grid (they measure the run, not the simulation).
+pub const TIMING_FIELDS: [&str; 3] = ["wall_secs", "events_per_sec", "jobs"];
+
+/// Copy of a manifest with every timing field removed, at every depth.
+/// Two manifests of the same grid must be equal after stripping, whatever
+/// `--jobs` each ran with — this is what the determinism tests and the CI
+/// gate compare.
+pub fn strip_timing(j: &Json) -> Json {
+    match j {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| !TIMING_FIELDS.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), strip_timing(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PolicyKind;
+    use anu_cluster::ClusterConfig;
+    use anu_core::TuningConfig;
+    use anu_workload::{CostModel, SyntheticConfig, WeightDist};
+
+    fn tiny_experiment(name: &str, seed: u64) -> Experiment {
+        Experiment {
+            name: name.into(),
+            cluster: ClusterConfig::paper(),
+            workload: SyntheticConfig {
+                n_file_sets: 20,
+                total_requests: 2_000,
+                duration_secs: 400.0,
+                weights: WeightDist::PowerOfUniform { alpha: 50.0 },
+                mean_cost_secs: 0.3,
+                cost: CostModel::Deterministic,
+                seed,
+            }
+            .generate(),
+            policies: vec![
+                ("simple".into(), PolicyKind::SimpleRandom),
+                ("rr".into(), PolicyKind::RoundRobin),
+                (
+                    "anu".into(),
+                    PolicyKind::Anu {
+                        tuning: TuningConfig::paper(),
+                    },
+                ),
+            ],
+            seed,
+        }
+    }
+
+    fn grid() -> Vec<Experiment> {
+        vec![
+            tiny_experiment("expA", 5),
+            tiny_experiment("expB", 6),
+            tiny_experiment("expC", 7),
+        ]
+    }
+
+    #[test]
+    fn plan_enumerates_in_declaration_order() {
+        let exps = grid();
+        let tasks = plan(&exps);
+        assert_eq!(tasks.len(), 9);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id, i as u64);
+            assert_eq!(t.experiment, i / 3);
+            assert_eq!(t.policy, i % 3);
+        }
+        assert_eq!(tasks[0].label, "simple");
+        assert_eq!(tasks[4].name, "expB");
+        assert_eq!(tasks[4].label, "rr");
+    }
+
+    #[test]
+    fn pool_drains_queue_at_any_worker_count() {
+        let exps = grid();
+        let serial = run_grid(&exps, 1);
+        assert_eq!(serial.len(), 9);
+        for workers in [2usize, 8] {
+            let parallel = run_grid(&exps, workers);
+            assert_eq!(parallel.len(), serial.len(), "{workers} workers");
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.task.id, b.task.id);
+                assert_eq!(a.task.label, b.task.label);
+                assert_eq!(a.result.policy, b.result.policy);
+                assert_eq!(
+                    a.result.summary, b.result.summary,
+                    "task {} differs at {workers} workers",
+                    a.task.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_results_preserves_policy_order() {
+        let exps = grid();
+        let grouped = group_results(run_grid(&exps, 4), exps.len());
+        assert_eq!(grouped.len(), 3);
+        for results in &grouped {
+            let labels: Vec<&str> = results.iter().map(|r| r.policy.as_str()).collect();
+            assert_eq!(labels, ["simple", "rr", "anu"]);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_grid(&[], 4).is_empty());
+        assert!(plan(&[]).is_empty());
+    }
+
+    #[test]
+    fn manifest_identical_modulo_timing_across_worker_counts() {
+        let exps = grid();
+        let checks = vec![ShapeCheck {
+            claim: "c".into(),
+            measured: "m".into(),
+            pass: true,
+        }];
+        let verdicts = vec![FigureVerdict {
+            figure: 8,
+            seed: 5,
+            checks,
+        }];
+        let a = run_grid(&exps, 1);
+        let b = run_grid(&exps, 8);
+        let ma = manifest(5, 1, 1.23, &a, &verdicts);
+        let mb = manifest(5, 8, 0.45, &b, &verdicts);
+        assert_ne!(ma, mb, "timing fields must differ");
+        assert_eq!(strip_timing(&ma), strip_timing(&mb));
+        // The stripped manifest still carries the deterministic payload.
+        let stripped = strip_timing(&ma).render();
+        assert!(stripped.contains("sim_events"));
+        assert!(stripped.contains("\"schema\""));
+        assert!(!stripped.contains("wall_secs"));
+        assert!(!stripped.contains("events_per_sec"));
+    }
+
+    #[test]
+    fn manifest_shape_is_schema_stable() {
+        let exps = vec![tiny_experiment("fig8", 5)];
+        let outcomes = run_grid(&exps, 2);
+        let verdicts = vec![FigureVerdict {
+            figure: 8,
+            seed: 5,
+            checks: vec![ShapeCheck {
+                claim: "x".into(),
+                measured: "y".into(),
+                pass: false,
+            }],
+        }];
+        let m = manifest(5, 2, 0.5, &outcomes, &verdicts);
+        assert_eq!(m.get("schema").unwrap().as_str().unwrap(), MANIFEST_SCHEMA);
+        assert_eq!(m.get("base_seed").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(m.get("tasks_total").unwrap().as_usize().unwrap(), 3);
+        assert!(!m.get("all_pass").unwrap().as_bool().unwrap());
+        let tasks = m.get("tasks").unwrap().as_arr().unwrap();
+        assert_eq!(tasks.len(), 3);
+        for t in tasks {
+            assert!(t.get("sim_events").unwrap().as_u64().unwrap() > 0);
+            assert!(t.get("wall_secs").is_ok());
+            assert!(t.get("events_per_sec").is_ok());
+        }
+        let figs = m.get("figures").unwrap().as_arr().unwrap();
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].get("figure").unwrap().as_u32().unwrap(), 8);
+        assert!(!figs[0].get("pass").unwrap().as_bool().unwrap());
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&m.render_pretty()).unwrap(), m);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        assert_eq!(effective_jobs(3), 3);
+        assert!(effective_jobs(0) >= 1);
+        set_default_jobs(2);
+        assert_eq!(effective_jobs(0), 2);
+        set_default_jobs(0);
+        assert!(effective_jobs(0) >= 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! The sweep engine's core guarantee, end to end: running the figure grid
+//! serially (`jobs = 1`) and in parallel (`jobs = 4`) produces
+//! byte-identical CSV series and identical shape-check verdicts.
+//!
+//! Uses the reduced (~10%) figure experiments so the test stays CI-speed;
+//! the determinism argument is scale-independent (task seeds are fixed at
+//! enumeration time, outcomes are slotted by task id).
+
+use anu::harness::{
+    checks_for, figure, reduced, run_grid, write_figure_csvs_tagged, FIGURE_NUMBERS,
+    PLAIN_ANU_LABEL,
+};
+
+/// Same pinned seed as the reduced-scale shape suite.
+const SEED: u64 = 32;
+
+/// One run's CSV output: `(relative path, file bytes)` per series.
+type CsvSet = Vec<(std::path::PathBuf, Vec<u8>)>;
+/// One run's verdicts: per figure, the `(claim, pass)` pairs in order.
+type VerdictSet = Vec<(u32, Vec<(String, bool)>)>;
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let exps: Vec<_> = FIGURE_NUMBERS
+        .iter()
+        .map(|&n| reduced(figure(n, SEED).expect("evaluation figure"), SEED))
+        .collect();
+
+    let tmp = std::env::temp_dir().join("anu_parallel_determinism");
+    std::fs::remove_dir_all(&tmp).ok();
+    let mut csvs: Vec<CsvSet> = Vec::new();
+    let mut verdicts: Vec<VerdictSet> = Vec::new();
+
+    for (run_idx, jobs) in [(0usize, 1usize), (1, 4)] {
+        let dir = tmp.join(format!("jobs{jobs}"));
+        let outcomes = run_grid(&exps, jobs);
+
+        // Regroup per experiment, preserving policy order.
+        let mut grouped: Vec<Vec<anu::cluster::RunResult>> = vec![Vec::new(); exps.len()];
+        for o in outcomes {
+            grouped[o.task.experiment].push(o.result);
+        }
+
+        let plain = grouped
+            .iter()
+            .flatten()
+            .find(|r| r.policy == PLAIN_ANU_LABEL)
+            .cloned()
+            .expect("fig10 grid includes the no-heuristics baseline");
+
+        let mut run_csvs = Vec::new();
+        let mut run_verdicts = Vec::new();
+        for (i, (&n, results)) in FIGURE_NUMBERS.iter().zip(&grouped).enumerate() {
+            let paths =
+                write_figure_csvs_tagged(&exps[i].name, None, results, &dir).expect("write CSVs");
+            for p in paths {
+                let bytes = std::fs::read(&p).expect("read back CSV");
+                let rel = p.strip_prefix(&dir).expect("under dir").to_path_buf();
+                run_csvs.push((rel, bytes));
+            }
+            let tick_buckets =
+                (exps[i].cluster.tick.0 / exps[i].cluster.series_bucket.0).max(1) as usize;
+            let checks = checks_for(n, results, Some(&plain), tick_buckets);
+            run_verdicts.push((n, checks.into_iter().map(|c| (c.claim, c.pass)).collect()));
+        }
+        assert_eq!(csvs.len(), run_idx, "runs recorded in order");
+        csvs.push(run_csvs);
+        verdicts.push(run_verdicts);
+    }
+
+    let (serial_csvs, parallel_csvs) = (&csvs[0], &csvs[1]);
+    assert_eq!(
+        serial_csvs.len(),
+        parallel_csvs.len(),
+        "same CSV file count"
+    );
+    assert!(!serial_csvs.is_empty(), "figures produced CSVs");
+    for ((name_s, bytes_s), (name_p, bytes_p)) in serial_csvs.iter().zip(parallel_csvs) {
+        assert_eq!(name_s, name_p, "same CSV file names in the same order");
+        assert_eq!(
+            bytes_s,
+            bytes_p,
+            "CSV {} differs between jobs=1 and jobs=4",
+            name_s.display()
+        );
+    }
+    assert_eq!(
+        verdicts[0], verdicts[1],
+        "shape-check verdicts differ between jobs=1 and jobs=4"
+    );
+
+    std::fs::remove_dir_all(&tmp).ok();
+}
