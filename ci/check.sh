@@ -76,18 +76,21 @@ cargo build --release
 step "tier-1: cargo test"
 cargo test -q
 
-step "figures determinism gate (--jobs \$(nproc) vs --jobs 1)"
+step "figures + trace determinism gate (--jobs \$(nproc) vs --jobs 1)"
 JOBS="$(nproc)"
 SERIAL_DIR="$(mktemp -d)"
 trap 'rm -rf "$SERIAL_DIR"' EXIT
-# Parallel run writes the canonical out/ CSVs and the bench manifest and
+# Parallel run writes the canonical out/ CSVs (series + tuner epochs), the
+# epoch-level JSONL traces under out/trace/, and the bench manifest, and
 # enforces every figure's shape checks (non-zero exit on any FAIL)...
-./target/release/figures --jobs "$JOBS" --out out --bench-out BENCH_figures.json
-# ...then a serial re-run must reproduce the same bytes.
+./target/release/figures --jobs "$JOBS" --out out --bench-out BENCH_figures.json \
+    --trace-out out/trace --trace-level epoch
+# ...then a serial re-run must reproduce the same bytes, traces included.
 ./target/release/figures --jobs 1 --out "$SERIAL_DIR/out" \
-    --bench-out "$SERIAL_DIR/BENCH_figures.json" >/dev/null
+    --bench-out "$SERIAL_DIR/BENCH_figures.json" \
+    --trace-out "$SERIAL_DIR/out/trace" --trace-level epoch >/dev/null
 diff -r out "$SERIAL_DIR/out"
-echo "out/ is byte-identical at --jobs $JOBS and --jobs 1"
+echo "out/ (series, tuner epochs, JSONL traces) is byte-identical at --jobs $JOBS and --jobs 1"
 
 summary
 printf '\n==> all checks passed\n'

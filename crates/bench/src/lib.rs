@@ -104,6 +104,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
         min_ns: min,
         iters_per_batch: iters,
     };
+    // anu-lint: allow(print) -- the bench harness's whole job is printing measurements to the terminal
     println!(
         "{:<55} {:>12}/iter  (min {}, {} iters/batch)",
         name,

@@ -27,6 +27,7 @@ use anu_core::{FileSetId, LoadReport, ServerId};
 use anu_des::{
     Calendar, FifoStation, IntervalStats, Job, RngStream, SimDuration, SimTime, StartService,
 };
+use anu_trace::{NullSink, TraceEvent, TraceLevel, TraceSink, Tracer};
 use std::collections::BTreeMap;
 
 /// Closed-loop experiment configuration.
@@ -121,6 +122,20 @@ pub fn run_closed_loop(
     cfg: &ClosedLoopConfig,
     policy: &mut dyn PlacementPolicy,
 ) -> ClosedLoopResult {
+    run_closed_loop_traced(cluster, cfg, policy, &mut NullSink)
+}
+
+/// [`run_closed_loop`], with structured-trace events delivered to `sink`.
+///
+/// Same determinism contract as [`crate::world::run_traced`]: tracing
+/// never schedules calendar events, so the traced and untraced
+/// trajectories are identical.
+pub fn run_closed_loop_traced(
+    cluster: &ClusterConfig,
+    cfg: &ClosedLoopConfig,
+    policy: &mut dyn PlacementPolicy,
+    sink: &mut dyn TraceSink,
+) -> ClosedLoopResult {
     // anu-lint: allow(panic) -- entry precondition: results on an invalid cluster are meaningless
     cluster.validate().expect("valid cluster");
     assert!(cfg.clients > 0 && cfg.n_file_sets > 0 && cfg.san_lanes > 0);
@@ -180,6 +195,9 @@ pub fn run_closed_loop(
     let mut metadata_ms_sum = 0.0;
     let mut san_busy = SimDuration::ZERO;
     let mut migrations = 0u64;
+    let mut tracer = Tracer::new(sink);
+    let mut epoch: u64 = 0;
+    let run_span = tracer.open(SimTime::ZERO, "closed-loop");
 
     while let Some((now, ev)) = cal.pop() {
         if now > SimTime::ZERO + cfg.duration {
@@ -191,10 +209,32 @@ pub fn run_closed_loop(
                 issue_time[c as usize] = now;
                 if let Some((_, waiters)) = migrating.get_mut(&fs) {
                     waiters.push((c, now));
+                    if tracer.enabled(TraceLevel::Request) {
+                        tracer.emit(
+                            TraceLevel::Request,
+                            now,
+                            &TraceEvent::RequestArrival {
+                                server: None,
+                                set: fs.0,
+                                buffered: true,
+                            },
+                        );
+                    }
                     continue;
                 }
                 // anu-lint: allow(panic) -- every file set is assigned at setup and on migration
                 let sid = *assignment.get(&fs).expect("assigned");
+                if tracer.enabled(TraceLevel::Request) {
+                    tracer.emit(
+                        TraceLevel::Request,
+                        now,
+                        &TraceEvent::RequestArrival {
+                            server: Some(sid.0),
+                            set: fs.0,
+                            buffered: false,
+                        },
+                    );
+                }
                 // anu-lint: allow(panic) -- assignments only ever point at live servers
                 let server = servers.get_mut(&sid).expect("known");
                 let service = SimDuration::from_secs_f64(
@@ -220,6 +260,19 @@ pub fn run_closed_loop(
                 let md_latency = now.since(job.arrival);
                 server.interval.record(md_latency);
                 metadata_ms_sum += md_latency.as_millis_f64();
+                if tracer.enabled(TraceLevel::Request) {
+                    let depth = server.station.population() as u64;
+                    tracer.emit(
+                        TraceLevel::Request,
+                        now,
+                        &TraceEvent::RequestComplete {
+                            server: sid.0,
+                            set: _fs.0,
+                            latency_us: md_latency.0,
+                            depth,
+                        },
+                    );
+                }
                 // Metadata granted: the client now drives the SAN directly.
                 let transfer = SimDuration::from_secs_f64(
                     rng.exponential(1.0 / cfg.data_transfer.as_secs_f64()),
@@ -250,9 +303,32 @@ pub fn run_closed_loop(
                     servers: servers.keys().map(|&s| (s, true)).collect(),
                     now,
                 };
+                tracer.emit(TraceLevel::Epoch, now, &TraceEvent::EpochBegin { epoch });
+                let mut move_count = 0u64;
                 for mv in policy.on_tick(&view, &reports, &assignment) {
                     if migrating.contains_key(&mv.set) || assignment.get(&mv.set) == Some(&mv.to) {
                         continue;
+                    }
+                    if tracer.enabled(TraceLevel::Epoch) {
+                        let from = assignment.get(&mv.set).map(|s| s.0);
+                        tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::MigrationStart {
+                                set: mv.set.0,
+                                from,
+                                to: mv.to.0,
+                            },
+                        );
+                        tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::MigrationFlush {
+                                set: mv.set.0,
+                                from,
+                                done_us: (now + cluster.migration.flush).0,
+                            },
+                        );
                     }
                     migrating.insert(mv.set, (mv.to, Vec::new()));
                     cal.schedule(
@@ -260,13 +336,35 @@ pub fn run_closed_loop(
                         Event::MigrationDone(mv.set),
                     );
                     migrations += 1;
+                    move_count += 1;
                 }
+                if tracer.enabled(TraceLevel::Epoch) {
+                    tracer.emit(
+                        TraceLevel::Epoch,
+                        now,
+                        &TraceEvent::EpochEnd {
+                            epoch,
+                            moves: move_count,
+                            tune: policy.take_epoch(),
+                        },
+                    );
+                }
+                epoch += 1;
                 cal.schedule(now + cluster.tick, Event::Tick);
             }
             Event::MigrationDone(fs) => {
                 // anu-lint: allow(panic) -- MigrationDone is scheduled only when the entry is inserted
                 let (to, waiters) = migrating.remove(&fs).expect("migration exists");
                 assignment.insert(fs, to);
+                tracer.emit(
+                    TraceLevel::Epoch,
+                    now,
+                    &TraceEvent::MigrationFinish {
+                        set: fs.0,
+                        to: to.0,
+                        buffered: waiters.len() as u64,
+                    },
+                );
                 for (c, issued) in waiters {
                     // Re-issue the blocked request at the new owner,
                     // preserving the original issue time for latency.
@@ -288,6 +386,7 @@ pub fn run_closed_loop(
         }
     }
 
+    tracer.close(SimTime::ZERO + cfg.duration, run_span);
     let dur = cfg.duration.as_secs_f64();
     ClosedLoopResult {
         policy: policy.name().to_string(),

@@ -26,10 +26,13 @@ pub mod policy;
 pub mod spec;
 pub mod world;
 
-pub use closed_loop::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
+pub use closed_loop::{
+    run_closed_loop, run_closed_loop_traced, ClosedLoopConfig, ClosedLoopResult,
+};
 pub use metrics::{
-    flip_count, late_imbalance, late_mean, oscillation_score, series_points, RunResult, RunSummary,
+    flip_count, late_imbalance, late_mean, oscillation_score, series_points, EpochRecord,
+    RunResult, RunSummary,
 };
 pub use policy::{Assignment, ClusterView, MoveSet, PlacementPolicy};
 pub use spec::{ClusterConfig, ColdCacheConfig, FaultEvent, MigrationConfig, ServerSpec};
-pub use world::run;
+pub use world::{run, run_traced};

@@ -1,6 +1,7 @@
-//! Run results: per-server latency series and summary statistics.
+//! Run results: per-server latency series, per-epoch tuner telemetry and
+//! summary statistics.
 
-use anu_core::ServerId;
+use anu_core::{ServerId, TuneEpoch};
 use anu_des::{OnlineStats, TimeSeries};
 use std::collections::BTreeMap;
 
@@ -13,8 +14,27 @@ pub struct RunResult {
     pub workload: String,
     /// Per-server latency time series (mean latency per bucket, ms).
     pub series: BTreeMap<ServerId, TimeSeries>,
+    /// One record per tuning tick, in tick order — the epoch-by-epoch
+    /// trajectory the paper's §7 figures reason about. Always collected
+    /// (one small struct per tick); the tuner decision payload is present
+    /// for policies that expose one via
+    /// [`PlacementPolicy::take_epoch`](crate::PlacementPolicy::take_epoch).
+    pub epochs: Vec<EpochRecord>,
     /// Summary numbers.
     pub summary: RunSummary,
+}
+
+/// What happened at one tuning tick.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochRecord {
+    /// Zero-based tick index.
+    pub index: u64,
+    /// Simulated time of the tick, in seconds.
+    pub time_s: f64,
+    /// File-set migrations the policy ordered at this tick.
+    pub moves: u64,
+    /// The tuner's per-server decision record, when the policy ran one.
+    pub tune: Option<TuneEpoch>,
 }
 
 /// Aggregate outcome of one run.
@@ -49,6 +69,24 @@ pub struct RunSummary {
     /// Mean latency (ms) over the second half of the run only — the
     /// converged regime for adaptive policies.
     pub late_mean_latency_ms: f64,
+    /// Median request latency (ms), from the log-scaled histogram: the
+    /// reported value is the containing power-of-two bucket's upper bound
+    /// (≤2× coarse, deterministic).
+    pub p50_latency_ms: f64,
+    /// 95th-percentile request latency (ms), same histogram resolution.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile request latency (ms), same histogram resolution.
+    pub p99_latency_ms: f64,
+    /// Largest queue population (waiting + in service) observed at any
+    /// server at any enqueue.
+    pub max_queue_depth: u64,
+    /// Tuner decisions frozen by the thresholding band, summed over all
+    /// epochs and servers.
+    pub band_freezes: u64,
+    /// Tuner decisions frozen by divergent tuning.
+    pub divergent_freezes: u64,
+    /// Tuner moves bounded by the `max_factor` clamp.
+    pub factor_clamps: u64,
 }
 
 /// Build the late-half imbalance CoV from the per-server series.

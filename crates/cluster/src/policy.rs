@@ -83,6 +83,15 @@ pub trait PlacementPolicy {
         recovered: ServerId,
         assignment: &Assignment,
     ) -> Vec<MoveSet>;
+
+    /// Per-epoch tuner telemetry from the most recent [`on_tick`],
+    /// consumed on read. Policies without a tuner (the static baselines)
+    /// return `None`, the default.
+    ///
+    /// [`on_tick`]: PlacementPolicy::on_tick
+    fn take_epoch(&mut self) -> Option<anu_core::TuneEpoch> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! destination starts with a cold cache. Failures drain a server's queue
 //! and re-home its file sets after a failover delay.
 
-use crate::metrics::{late_imbalance, late_mean, RunResult, RunSummary};
+use crate::metrics::{late_imbalance, late_mean, EpochRecord, RunResult, RunSummary};
 use crate::policy::{Assignment, ClusterView, MoveSet, PlacementPolicy};
 use crate::spec::{ClusterConfig, FaultEvent};
 use anu_core::{FileSetId, LoadReport, ServerId};
@@ -16,6 +16,7 @@ use anu_des::{
     Calendar, FifoStation, IntervalStats, Job, OnlineStats, SimDuration, SimTime, StartService,
     TimeSeries,
 };
+use anu_trace::{LogHistogram, NullSink, TraceEvent, TraceLevel, TraceSink, Tracer};
 use anu_workload::Workload;
 use std::collections::BTreeMap;
 
@@ -76,6 +77,25 @@ struct World<'a> {
     migration_count: u64,
     max_latency_ms: f64,
     event_count: u64,
+    /// Structured-trace emitter. With a `NullSink` every emission site is
+    /// one integer compare; the tracer never schedules calendar events, so
+    /// traced and untraced runs execute identical event sequences.
+    tracer: Tracer<'a>,
+    /// Log-scaled request-latency histogram (µs), always recorded — the
+    /// p50/p95/p99 summary fields come from here.
+    latency_hist: LogHistogram,
+    /// Largest queue population seen at any server at any enqueue.
+    max_queue_depth: u64,
+    /// One record per tuning tick (telemetry CSV + `RunResult::epochs`).
+    epochs: Vec<EpochRecord>,
+    /// Tuner decisions frozen by thresholding, across all epochs.
+    band_freezes: u64,
+    /// Tuner decisions frozen by divergent tuning.
+    divergent_freezes: u64,
+    /// Tuner moves bounded by the max-factor clamp.
+    factor_clamps: u64,
+    /// Requests that completed after the nominal horizon (stragglers).
+    post_horizon_completions: u64,
 }
 
 impl<'a> World<'a> {
@@ -100,7 +120,31 @@ impl<'a> World<'a> {
             service,
             meta: JobInfo { set, cost },
         };
-        if let StartService::At(t) = st.station.arrive(now, job) {
+        let started = st.station.arrive(now, job);
+        let depth = st.station.population() as u64;
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+        if self.tracer.enabled(TraceLevel::Request) {
+            self.tracer.emit(
+                TraceLevel::Request,
+                now,
+                &TraceEvent::QueueDepth {
+                    server: server.0,
+                    depth,
+                },
+            );
+            if let StartService::At(_) = started {
+                self.tracer.emit(
+                    TraceLevel::Request,
+                    now,
+                    &TraceEvent::RequestDispatch {
+                        server: server.0,
+                        set: set.0,
+                        wait_us: now.since(arrival).0,
+                    },
+                );
+            }
+        }
+        if let StartService::At(t) = started {
             let h = self.cal.schedule(t, Event::Complete(server));
             self.servers
                 .get_mut(&server)
@@ -119,6 +163,17 @@ impl<'a> World<'a> {
         let req = self.workload.requests[idx as usize];
         if let Some(m) = self.migrations.get_mut(&req.file_set) {
             m.buffered.push((req.arrival, req.cost));
+            if self.tracer.enabled(TraceLevel::Request) {
+                self.tracer.emit(
+                    TraceLevel::Request,
+                    req.arrival,
+                    &TraceEvent::RequestArrival {
+                        server: None,
+                        set: req.file_set.0,
+                        buffered: true,
+                    },
+                );
+            }
             return;
         }
         let server = *self
@@ -126,6 +181,17 @@ impl<'a> World<'a> {
             .get(&req.file_set)
             // anu-lint: allow(panic) -- setup assigns every file set before the run starts
             .expect("every file set is assigned");
+        if self.tracer.enabled(TraceLevel::Request) {
+            self.tracer.emit(
+                TraceLevel::Request,
+                req.arrival,
+                &TraceEvent::RequestArrival {
+                    server: Some(server.0),
+                    set: req.file_set.0,
+                    buffered: false,
+                },
+            );
+        }
         self.enqueue(server, req.arrival, req.file_set, req.cost);
     }
 
@@ -140,6 +206,39 @@ impl<'a> World<'a> {
         st.all.push(latency.as_millis_f64());
         st.completed += 1;
         self.max_latency_ms = self.max_latency_ms.max(latency.as_millis_f64());
+        self.latency_hist.record(latency.0);
+        if now > self.horizon {
+            self.post_horizon_completions += 1;
+        }
+        if self.tracer.enabled(TraceLevel::Request) {
+            let depth = st.station.population() as u64;
+            // The next queued job (if any) enters service now.
+            let dispatched = st
+                .station
+                .in_service()
+                .map(|j| (j.meta.set.0, now.since(j.arrival).0));
+            self.tracer.emit(
+                TraceLevel::Request,
+                now,
+                &TraceEvent::RequestComplete {
+                    server: server.0,
+                    set: job.meta.set.0,
+                    latency_us: latency.0,
+                    depth,
+                },
+            );
+            if let Some((set, wait_us)) = dispatched {
+                self.tracer.emit(
+                    TraceLevel::Request,
+                    now,
+                    &TraceEvent::RequestDispatch {
+                        server: server.0,
+                        set,
+                        wait_us,
+                    },
+                );
+            }
+        }
         // anu-lint: allow(panic) -- same map, same key as the lookup above
         let st = self.servers.get_mut(&server).expect("known server");
         st.completion = match next {
@@ -191,7 +290,8 @@ impl<'a> World<'a> {
             // divergent tuning compensates for) or, optionally, follow the
             // set to its new owner.
             let mut buffered = Vec::new();
-            if let Some(&from) = self.assignment.get(&mv.set) {
+            let from = self.assignment.get(&mv.set).copied();
+            if let Some(from) = from {
                 if let Some(st) = self.servers.get_mut(&from) {
                     st.warmth.remove(&mv.set);
                     if self.cfg.migration.queued_follow {
@@ -200,6 +300,29 @@ impl<'a> World<'a> {
                         }
                     }
                 }
+            }
+            if self.tracer.enabled(TraceLevel::Epoch) {
+                self.tracer.emit(
+                    TraceLevel::Epoch,
+                    now,
+                    &TraceEvent::MigrationStart {
+                        set: mv.set.0,
+                        from: from.map(|s| s.0),
+                        to: mv.to.0,
+                    },
+                );
+                // Emitted eagerly: tracing must never schedule calendar
+                // events, so the *scheduled* flush completion rides in the
+                // payload instead of arriving as its own timestamped line.
+                self.tracer.emit(
+                    TraceLevel::Epoch,
+                    now,
+                    &TraceEvent::MigrationFlush {
+                        set: mv.set.0,
+                        from: from.map(|s| s.0),
+                        done_us: (now + self.cfg.migration.flush).0,
+                    },
+                );
             }
             self.migrations.insert(
                 mv.set,
@@ -232,6 +355,15 @@ impl<'a> World<'a> {
             .expect("alive server")
             .warmth
             .insert(set, 0);
+        self.tracer.emit(
+            TraceLevel::Epoch,
+            self.cal.now(),
+            &TraceEvent::MigrationFinish {
+                set: set.0,
+                to: to.0,
+                buffered: m.buffered.len() as u64,
+            },
+        );
         for (arrival, cost) in m.buffered {
             self.enqueue(to, arrival, set, cost);
         }
@@ -242,11 +374,30 @@ impl<'a> World<'a> {
 /// and summary the figures are built from.
 ///
 /// The run is fully deterministic: same config, workload and policy state
-/// produce identical results.
+/// produce identical results. Equivalent to [`run_traced`] with a
+/// [`NullSink`].
 pub fn run(
     cfg: &ClusterConfig,
     workload: &Workload,
     policy: &mut dyn PlacementPolicy,
+) -> RunResult {
+    run_traced(cfg, workload, policy, &mut NullSink)
+}
+
+/// [`run`], with structured-trace events delivered to `sink`.
+///
+/// The sink's [`TraceSink::level`] selects the event taxonomy:
+/// [`TraceLevel::Epoch`] records tuner epochs, migrations, faults and
+/// spans; [`TraceLevel::Request`] adds per-request arrival / dispatch /
+/// complete records. Tracing never schedules calendar events, so the
+/// simulated trajectory — and every figure built from it — is identical
+/// whether or not a sink is attached, and trace bytes are deterministic
+/// at any worker count.
+pub fn run_traced(
+    cfg: &ClusterConfig,
+    workload: &Workload,
+    policy: &mut dyn PlacementPolicy,
+    sink: &mut dyn TraceSink,
 ) -> RunResult {
     // anu-lint: allow(panic) -- entry precondition: results on an invalid config are meaningless
     cfg.validate().expect("invalid cluster config");
@@ -283,6 +434,14 @@ pub fn run(
         migration_count: 0,
         max_latency_ms: 0.0,
         event_count: 0,
+        tracer: Tracer::new(sink),
+        latency_hist: LogHistogram::new(),
+        max_queue_depth: 0,
+        epochs: Vec::new(),
+        band_freezes: 0,
+        divergent_freezes: 0,
+        factor_clamps: 0,
+        post_horizon_completions: 0,
     };
 
     // Initial placement: every file set must land on an alive server.
@@ -319,6 +478,7 @@ pub fn run(
     }
 
     // Main loop.
+    let run_span = world.tracer.open(SimTime::ZERO, "run");
     while let Some((now, ev)) = world.cal.pop() {
         world.event_count += 1;
         match ev {
@@ -326,11 +486,63 @@ pub fn run(
             Event::Complete(s) => world.handle_complete(s),
             Event::MigrationDone(set) => world.handle_migration_done(set),
             Event::Tick => {
+                let epoch = world.epochs.len() as u64;
+                let span = world.tracer.open(now, "epoch");
+                world
+                    .tracer
+                    .emit(TraceLevel::Epoch, now, &TraceEvent::EpochBegin { epoch });
                 let reports = world.collect_reports();
                 let view = world.view();
                 let moves = policy.on_tick(&view, &reports, &world.assignment);
+                let move_count = moves.len() as u64;
+                let tune = policy.take_epoch();
+                if let Some(t) = &tune {
+                    for d in &t.decisions {
+                        match d.outcome {
+                            anu_core::TuneOutcome::FrozenBand => world.band_freezes += 1,
+                            anu_core::TuneOutcome::FrozenDivergent => {
+                                world.divergent_freezes += 1;
+                            }
+                            anu_core::TuneOutcome::Clamped => world.factor_clamps += 1,
+                            _ => {}
+                        }
+                    }
+                }
                 let delay = cfg.migration.total();
                 world.apply_moves(moves, delay, policy.name());
+                if world.tracer.enabled(TraceLevel::Epoch) {
+                    // Queue-depth samples at the tick boundary, one per
+                    // live server, then the epoch record itself.
+                    let depths: Vec<(u32, u64)> = world
+                        .servers
+                        .iter()
+                        .filter(|(_, st)| st.alive)
+                        .map(|(&s, st)| (s.0, st.station.population() as u64))
+                        .collect();
+                    for (server, depth) in depths {
+                        world.tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::QueueDepth { server, depth },
+                        );
+                    }
+                    world.tracer.emit(
+                        TraceLevel::Epoch,
+                        now,
+                        &TraceEvent::EpochEnd {
+                            epoch,
+                            moves: move_count,
+                            tune: tune.clone(),
+                        },
+                    );
+                }
+                world.tracer.close(now, span);
+                world.epochs.push(EpochRecord {
+                    index: epoch,
+                    time_s: now.as_secs_f64(),
+                    moves: move_count,
+                    tune,
+                });
                 let next = now + cfg.tick;
                 if next <= world.horizon {
                     world.cal.schedule(next, Event::Tick);
@@ -349,6 +561,14 @@ pub fn run(
                     if let Some(h) = st.completion.take() {
                         world.cal.cancel(h);
                     }
+                    world.tracer.emit(
+                        TraceLevel::Epoch,
+                        now,
+                        &TraceEvent::Fault {
+                            server: server.0,
+                            drained: drained.len() as u64,
+                        },
+                    );
                     let view = world.view();
                     let moves = policy.on_fail(&view, server, &world.assignment);
                     world.apply_moves(moves, cfg.failover_delay, policy.name());
@@ -389,12 +609,49 @@ pub fn run(
                     let st = world.servers.get_mut(&server).expect("known server");
                     assert!(!st.alive, "recovery of alive {server}");
                     st.alive = true;
+                    world.tracer.emit(
+                        TraceLevel::Epoch,
+                        now,
+                        &TraceEvent::Recover { server: server.0 },
+                    );
                     let view = world.view();
                     let moves = policy.on_recover(&view, server, &world.assignment);
                     let delay = cfg.migration.total();
                     world.apply_moves(moves, delay, policy.name());
                 }
             },
+        }
+    }
+
+    // The calendar is empty: the workload has fully drained.
+    let end_time = world.cal.now().max(horizon);
+    world.tracer.close(end_time, run_span);
+    if world.tracer.enabled(TraceLevel::Epoch) {
+        // Conservation check, active only in traced builds so untraced
+        // production runs pay nothing: every offered request either
+        // completed or is still in flight — and after a drained calendar,
+        // in-flight must be zero.
+        let completed_total: u64 = world.servers.values().map(|st| st.completed).sum();
+        let in_flight: u64 = world
+            .servers
+            .values()
+            .map(|st| st.station.population() as u64)
+            .sum();
+        debug_assert_eq!(
+            completed_total + in_flight,
+            workload.requests.len() as u64,
+            "request conservation at drain"
+        );
+        if world.post_horizon_completions > 0 {
+            world.tracer.emit(
+                TraceLevel::Epoch,
+                end_time,
+                &TraceEvent::Warning {
+                    code: "stragglers",
+                    detail: "requests completed after the nominal horizon".into(),
+                    count: world.post_horizon_completions,
+                },
+            );
         }
     }
 
@@ -426,11 +683,19 @@ pub fn run(
         sim_events: world.event_count,
         late_imbalance_cov: late_imbalance(&series),
         late_mean_latency_ms: late_mean(&series),
+        p50_latency_ms: world.latency_hist.quantile(0.50) as f64 / 1000.0,
+        p95_latency_ms: world.latency_hist.quantile(0.95) as f64 / 1000.0,
+        p99_latency_ms: world.latency_hist.quantile(0.99) as f64 / 1000.0,
+        max_queue_depth: world.max_queue_depth,
+        band_freezes: world.band_freezes,
+        divergent_freezes: world.divergent_freezes,
+        factor_clamps: world.factor_clamps,
     };
     RunResult {
         policy: policy.name().to_string(),
         workload: workload.label.clone(),
         series,
+        epochs: world.epochs,
         summary,
     }
 }
@@ -547,6 +812,48 @@ mod tests {
         let a = run(&cfg, &w, &mut Modulo);
         let b = run(&cfg, &w, &mut Modulo);
         assert_eq!(a.summary, b.summary);
+        assert_eq!(a.epochs, b.epochs);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        // The tentpole's core invariant: attaching a sink changes what is
+        // *recorded*, never what is *simulated*.
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(2);
+        let untraced = run(&cfg, &w, &mut PingPong { flip: false });
+        let mut buf = anu_trace::JsonlBuffer::new(TraceLevel::Request);
+        let traced = run_traced(&cfg, &w, &mut PingPong { flip: false }, &mut buf);
+        assert_eq!(untraced.summary, traced.summary);
+        assert_eq!(untraced.epochs, traced.epochs);
+        // The request-level stream covers at least arrival + completion
+        // per request, and every line is parseable JSON.
+        assert!(buf.lines().len() >= 2 * w.requests.len());
+        for line in buf.lines().iter().take(50) {
+            assert!(anu_core::Json::parse(line).is_ok(), "bad JSONL: {line}");
+        }
+        // Byte-determinism of the stream itself.
+        let mut buf2 = anu_trace::JsonlBuffer::new(TraceLevel::Request);
+        run_traced(&cfg, &w, &mut PingPong { flip: false }, &mut buf2);
+        assert_eq!(buf.lines(), buf2.lines());
+    }
+
+    #[test]
+    fn percentiles_and_depth_are_populated() {
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(1);
+        let r = run(&cfg, &w, &mut Modulo);
+        assert!(r.summary.p50_latency_ms > 0.0);
+        assert!(r.summary.p50_latency_ms <= r.summary.p95_latency_ms);
+        assert!(r.summary.p95_latency_ms <= r.summary.p99_latency_ms);
+        // Bucket upper bounds can overshoot the true max by <2x, but the
+        // median must sit at or below the recorded maximum's bucket bound.
+        assert!(r.summary.p99_latency_ms <= 2.0 * r.summary.max_latency_ms.max(1.0));
+        assert!(r.summary.max_queue_depth >= 1);
+        // Static policy: the tuner never ran, epochs carry no tune data.
+        assert!(!r.epochs.is_empty());
+        assert!(r.epochs.iter().all(|e| e.tune.is_none() && e.moves == 0));
+        assert_eq!(r.summary.band_freezes, 0);
     }
 
     #[test]

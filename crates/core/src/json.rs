@@ -590,6 +590,39 @@ mod tests {
     fn nonfinite_f64_is_null() {
         assert!(Json::f64(f64::NAN).is_null());
         assert!(Json::f64(f64::INFINITY).is_null());
+        assert!(Json::f64(f64::NEG_INFINITY).is_null());
+        // The rendered text is literal `null`, not a bare NaN token that
+        // would wreck downstream parsers.
+        assert_eq!(Json::f64(f64::NAN).render(), "null");
+        assert_eq!(Json::f64(f64::NEG_INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn integral_f64_keeps_float_marker() {
+        // Integral floats stay distinguishable from integers in the text.
+        assert_eq!(Json::f64(5.0).render(), "5.0");
+        assert_eq!(Json::f64(-3.0).render(), "-3.0");
+        assert_eq!(Json::f64(0.0).render(), "0.0");
+        // ...and still round-trip to identical bits.
+        let back = Json::parse(&Json::f64(-3.0).render()).unwrap();
+        assert_eq!(back.as_f64().unwrap().to_bits(), (-3.0f64).to_bits());
+    }
+
+    #[test]
+    fn control_chars_escape_and_round_trip() {
+        // Named short escapes for the common controls.
+        assert_eq!(Json::str("a\tb").render(), r#""a\tb""#);
+        assert_eq!(Json::str("a\rb").render(), r#""a\rb""#);
+        // Unnamed controls use \uXXXX with lowercase hex.
+        assert_eq!(Json::str("\u{01}").render(), "\"\\u0001\"");
+        assert_eq!(Json::str("\u{1f}").render(), "\"\\u001f\"");
+        // 0x20 (space) and above pass through unescaped.
+        assert_eq!(Json::str(" ~").render(), "\" ~\"");
+        // Every control character survives a render/parse round trip.
+        let all_controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let rendered = Json::str(all_controls.clone()).render();
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.as_str().unwrap(), all_controls);
     }
 
     #[test]

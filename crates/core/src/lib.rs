@@ -77,4 +77,4 @@ pub use json::{FromJson, Json, JsonError, ToJson};
 pub use pairwise::{Matching, PairwiseTuner};
 pub use partition::{PartitionState, PartitionTable, RegionChange};
 pub use placement::{Placement, PlacementMap, DEFAULT_ROUNDS};
-pub use tuner::{LoadReport, SharePlanner, TunePlan, Tuner};
+pub use tuner::{LoadReport, SharePlanner, TuneDecision, TuneEpoch, TuneOutcome, TunePlan, Tuner};

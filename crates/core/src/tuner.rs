@@ -15,6 +15,7 @@
 
 use crate::heuristics::{AverageKind, TuningConfig};
 use crate::ids::ServerId;
+use crate::json::{Json, ToJson};
 use std::collections::BTreeMap;
 
 /// One server's performance report for the last tuning interval.
@@ -45,6 +46,99 @@ pub struct TunePlan {
     pub movers: Vec<ServerId>,
 }
 
+/// Why the tuner arrived at a server's new share — which heuristic fired,
+/// or which clamp bounded the move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuneOutcome {
+    /// The raw scaling factor was applied unmodified.
+    Scaled,
+    /// The raw factor exceeded `±max_factor` and was clamped (includes the
+    /// idle-server case, which grows pinned at the clamp).
+    Clamped,
+    /// The share was floored at `min_grow_share` before growing, so a
+    /// collapsed region could re-enter.
+    Floored,
+    /// Thresholding froze the server: its latency was within the band
+    /// around `μ`.
+    FrozenBand,
+    /// Divergent tuning froze the server: it was already converging on
+    /// its own.
+    FrozenDivergent,
+}
+
+impl TuneOutcome {
+    /// Stable lowercase label for CSV / JSONL rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            TuneOutcome::Scaled => "scaled",
+            TuneOutcome::Clamped => "clamped",
+            TuneOutcome::Floored => "floored",
+            TuneOutcome::FrozenBand => "frozen_band",
+            TuneOutcome::FrozenDivergent => "frozen_divergent",
+        }
+    }
+}
+
+/// One server's record in a tuning epoch: old → new region width (as
+/// normalized shares) and the heuristic that shaped the move.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TuneDecision {
+    /// The server tuned.
+    pub server: ServerId,
+    /// The latency (ms) the server reported for the interval.
+    pub latency_ms: f64,
+    /// Normalized share before the pass.
+    pub old_share: f64,
+    /// Normalized share the tuner asked for (equals `old_share` for
+    /// frozen servers modulo renormalization slack).
+    pub new_share: f64,
+    /// Share actually applied after the placement map quantized the
+    /// target to whole region boundaries. Equals `new_share` until the
+    /// policy layer fills it in.
+    pub applied_share: f64,
+    /// Which heuristic or clamp shaped this decision.
+    pub outcome: TuneOutcome,
+}
+
+/// Full telemetry for one delegate tuning pass: the average, whether a
+/// plan was produced, and every per-server decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneEpoch {
+    /// The average latency (ms) the pass compared against.
+    pub mu_ms: f64,
+    /// True when the pass produced a [`TunePlan`] (some mover scaled);
+    /// false when every server was frozen and the configuration stood.
+    pub planned: bool,
+    /// Per-server decisions, in `ServerId` order.
+    pub decisions: Vec<TuneDecision>,
+}
+
+impl ToJson for TuneDecision {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("server", Json::u32(self.server.0)),
+            ("latency_ms", Json::f64(self.latency_ms)),
+            ("old", Json::f64(self.old_share)),
+            ("new", Json::f64(self.new_share)),
+            ("applied", Json::f64(self.applied_share)),
+            ("outcome", Json::str(self.outcome.name())),
+        ])
+    }
+}
+
+impl ToJson for TuneEpoch {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mu_ms", Json::f64(self.mu_ms)),
+            ("planned", Json::bool(self.planned)),
+            (
+                "decisions",
+                Json::arr(self.decisions.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
 /// Anything that can turn latency reports into new share targets.
 ///
 /// Two implementations ship: the centralized delegate [`Tuner`] (the
@@ -67,6 +161,15 @@ pub trait SharePlanner: Send {
 
     /// Label for reports and figures.
     fn planner_name(&self) -> &'static str;
+
+    /// Telemetry from the most recent [`plan_shares`] call, consumed on
+    /// read. Planners without per-epoch telemetry return `None` (the
+    /// default), which costs nothing.
+    ///
+    /// [`plan_shares`]: SharePlanner::plan_shares
+    fn take_epoch(&mut self) -> Option<TuneEpoch> {
+        None
+    }
 }
 
 impl SharePlanner for Tuner {
@@ -84,6 +187,10 @@ impl SharePlanner for Tuner {
 
     fn planner_name(&self) -> &'static str {
         "centralized-delegate"
+    }
+
+    fn take_epoch(&mut self) -> Option<TuneEpoch> {
+        self.last_epoch.take()
     }
 }
 
@@ -113,12 +220,21 @@ pub struct Tuner {
     /// until the first pass completes — and after any simulated delegate
     /// failover via [`Tuner::forget_state`].
     prev: Option<BTreeMap<ServerId, f64>>,
+    /// Telemetry from the last [`Tuner::plan`] call, for
+    /// [`SharePlanner::take_epoch`]. Recording it is a handful of copies
+    /// per pass; a pass runs once per tuning interval, so this costs
+    /// nothing measurable.
+    last_epoch: Option<TuneEpoch>,
 }
 
 impl Tuner {
     /// Create a tuner with the given configuration.
     pub fn new(cfg: TuningConfig) -> Self {
-        Tuner { cfg, prev: None }
+        Tuner {
+            cfg,
+            prev: None,
+            last_epoch: None,
+        }
     }
 
     /// The configuration in use.
@@ -180,8 +296,9 @@ impl Tuner {
             .iter()
             .map(|r| (r.server, r.mean_latency_ms))
             .collect();
-        let result = self.plan_inner(shares, reports, &lat);
+        let (result, epoch) = self.plan_inner(shares, reports, &lat);
         self.prev = Some(lat);
+        self.last_epoch = epoch;
         result
     }
 
@@ -190,28 +307,45 @@ impl Tuner {
         shares: &BTreeMap<ServerId, f64>,
         reports: &[LoadReport],
         lat: &BTreeMap<ServerId, f64>,
-    ) -> Option<TunePlan> {
-        let mu = self.average(reports)?;
+    ) -> (Option<TunePlan>, Option<TuneEpoch>) {
+        let Some(mu) = self.average(reports) else {
+            return (None, None);
+        };
         if mu <= 0.0 {
-            return None; // nothing is queuing anywhere
+            return (None, None); // nothing is queuing anywhere
         }
         let share_total: f64 = shares.values().sum();
         if share_total <= 0.0 {
-            return None;
+            return (None, None);
         }
 
         let mut targets = BTreeMap::new();
         let mut movers = Vec::new();
+        let mut decisions = Vec::with_capacity(shares.len());
         for (&s, &share) in shares {
             let latency = lat.get(&s).copied().unwrap_or(0.0);
-            let frozen = self.cfg.within_band(latency, mu)
-                || !self.cfg.divergence_allows(
-                    latency,
-                    mu,
-                    self.prev.as_ref().and_then(|p| p.get(&s).copied()),
-                );
-            if frozen {
+            let old_share = share / share_total;
+            let outcome = if self.cfg.within_band(latency, mu) {
+                TuneOutcome::FrozenBand
+            } else if !self.cfg.divergence_allows(
+                latency,
+                mu,
+                self.prev.as_ref().and_then(|p| p.get(&s).copied()),
+            ) {
+                TuneOutcome::FrozenDivergent
+            } else {
+                TuneOutcome::Scaled // refined below once the clamp is known
+            };
+            if outcome != TuneOutcome::Scaled {
                 targets.insert(s, share);
+                decisions.push(TuneDecision {
+                    server: s,
+                    latency_ms: latency,
+                    old_share,
+                    new_share: old_share,
+                    applied_share: old_share,
+                    outcome,
+                });
                 continue;
             }
             movers.push(s);
@@ -228,11 +362,33 @@ impl Tuner {
             } else {
                 share
             };
+            let outcome = if factor != raw_factor {
+                TuneOutcome::Clamped
+            } else if base != share {
+                TuneOutcome::Floored
+            } else {
+                TuneOutcome::Scaled
+            };
             targets.insert(s, base * factor);
+            decisions.push(TuneDecision {
+                server: s,
+                latency_ms: latency,
+                old_share,
+                new_share: old_share, // overwritten after renormalization
+                applied_share: old_share,
+                outcome,
+            });
         }
 
         if movers.is_empty() {
-            return None;
+            // Every server frozen: the configuration stands; decisions
+            // already carry new == old.
+            let epoch = TuneEpoch {
+                mu_ms: mu,
+                planned: false,
+                decisions,
+            };
+            return (None, Some(epoch));
         }
         // Renormalize to sum 1. Frozen servers absorb the slack — that is
         // the "implicit" gain/loss that preserves half occupancy.
@@ -240,11 +396,24 @@ impl Tuner {
         for v in targets.values_mut() {
             *v /= total;
         }
-        Some(TunePlan {
-            targets,
-            mu,
-            movers,
-        })
+        for d in &mut decisions {
+            let t = targets[&d.server];
+            d.new_share = t;
+            d.applied_share = t;
+        }
+        let epoch = TuneEpoch {
+            mu_ms: mu,
+            planned: true,
+            decisions,
+        };
+        (
+            Some(TunePlan {
+                targets,
+                mu,
+                movers,
+            }),
+            Some(epoch),
+        )
     }
 }
 
@@ -429,5 +598,77 @@ mod tests {
         assert!(t
             .plan(&shares, &[report(0, 0.0, 10), report(1, 0.0, 10)])
             .is_none());
+    }
+
+    #[test]
+    fn epoch_telemetry_records_decisions() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(2);
+        let plan = t
+            .plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 100)])
+            .unwrap();
+        let epoch = t.take_epoch().expect("plan produced telemetry");
+        assert!(epoch.planned);
+        assert!((epoch.mu_ms - plan.mu).abs() < 1e-12);
+        assert_eq!(epoch.decisions.len(), 2);
+        for d in &epoch.decisions {
+            assert_eq!(d.outcome, TuneOutcome::Scaled);
+            assert!((d.new_share - plan.targets[&d.server]).abs() < 1e-12);
+            assert_eq!(d.applied_share, d.new_share);
+        }
+        assert!((epoch.decisions[0].old_share - 0.5).abs() < 1e-12);
+        // take_epoch consumes.
+        assert!(t.take_epoch().is_none());
+    }
+
+    #[test]
+    fn epoch_telemetry_names_the_freezing_heuristic() {
+        let mut t = Tuner::new(TuningConfig::thresholding_only(0.5));
+        let shares = equal_shares(2);
+        assert!(t
+            .plan(&shares, &[report(0, 120.0, 100), report(1, 90.0, 100)])
+            .is_none());
+        let epoch = t.take_epoch().expect("frozen pass still records");
+        assert!(!epoch.planned);
+        assert!(epoch
+            .decisions
+            .iter()
+            .all(|d| d.outcome == TuneOutcome::FrozenBand && d.new_share == d.old_share));
+    }
+
+    #[test]
+    fn epoch_telemetry_marks_clamped_movers() {
+        let mut cfg = TuningConfig::plain();
+        cfg.max_factor = 2.0;
+        let mut t = Tuner::new(cfg);
+        let shares = equal_shares(2);
+        t.plan(&shares, &[report(0, 10_000.0, 1), report(1, 0.001, 10_000)])
+            .unwrap();
+        let epoch = t.take_epoch().unwrap();
+        assert!(epoch
+            .decisions
+            .iter()
+            .all(|d| d.outcome == TuneOutcome::Clamped));
+    }
+
+    #[test]
+    fn no_information_no_epoch() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        assert!(t
+            .plan(&equal_shares(2), &[report(0, 0.0, 0), report(1, 0.0, 0)])
+            .is_none());
+        assert!(t.take_epoch().is_none());
+    }
+
+    #[test]
+    fn epoch_json_shape() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(2);
+        t.plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 100)])
+            .unwrap();
+        let j = t.take_epoch().unwrap().to_json();
+        assert!(j.get("mu_ms").is_ok());
+        assert!(j.get("planned").unwrap().as_bool().unwrap());
+        assert_eq!(j.get("decisions").unwrap().as_arr().unwrap().len(), 2);
     }
 }

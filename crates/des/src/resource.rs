@@ -79,6 +79,12 @@ impl<M> FifoStation<M> {
         self.queue.len() + usize::from(self.in_service.is_some())
     }
 
+    /// The job currently in service, if any (read-only: tracing needs to
+    /// identify the request that just entered service).
+    pub fn in_service(&self) -> Option<&Job<M>> {
+        self.in_service.as_ref()
+    }
+
     /// Total jobs that have arrived / completed.
     pub fn counters(&self) -> (u64, u64) {
         (self.arrived, self.completed)

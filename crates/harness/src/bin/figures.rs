@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR]
-//!         [--bench-out FILE] [--series] [--plot]
+//!         [--bench-out FILE] [--trace-out DIR] [--trace-level LVL]
+//!         [--series] [--plot]
 //! ```
 //!
 //! The full {figure × policy × seed} grid is enumerated as independent
@@ -19,13 +20,21 @@
 //! full minute-by-minute latency table. A machine-readable perf manifest
 //! (wall time, per-task simulated events/sec, verdicts) is written to
 //! `--bench-out` (default `BENCH_figures.json`).
+//!
+//! Tracing: every figure additionally writes its per-epoch tuner telemetry
+//! to `<figure>_tuner_epochs.csv` in `--out`. `--trace-out DIR` records a
+//! structured JSONL trace of every task (one file per task) at
+//! `--trace-level` (`epoch` by default; `request` adds per-request events)
+//! and calibrates the tracing overhead into the manifest. Traces are
+//! byte-identical at any `--jobs` value.
 
 use anu_harness::runner;
 use anu_harness::{
-    checks_for, checks_table, figure, series_table, sparklines, summary_table,
-    write_figure_csvs_tagged, Experiment, FigureVerdict, DEFAULT_SEED, FIGURE_NUMBERS,
-    PLAIN_ANU_LABEL,
+    checks_for, checks_table, figure, measure_trace_overhead, reduced, series_table, sparklines,
+    summary_table, write_figure_csvs_tagged, write_tuner_epochs_csv, Experiment, FigureVerdict,
+    DEFAULT_SEED, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
 };
+use anu_trace::TraceLevel;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -36,6 +45,8 @@ struct Args {
     jobs: usize,
     out: PathBuf,
     bench_out: PathBuf,
+    trace_out: Option<PathBuf>,
+    trace_level: TraceLevel,
     series: bool,
     plot: bool,
 }
@@ -48,6 +59,8 @@ fn parse_args() -> Args {
         jobs: 0,
         out: PathBuf::from("out"),
         bench_out: PathBuf::from("BENCH_figures.json"),
+        trace_out: None,
+        trace_level: TraceLevel::Epoch,
         series: false,
         plot: false,
     };
@@ -84,11 +97,21 @@ fn parse_args() -> Args {
             "--bench-out" => {
                 args.bench_out = PathBuf::from(it.next().expect("--bench-out needs a path"))
             }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a path")))
+            }
+            "--trace-level" => {
+                args.trace_level = it
+                    .next()
+                    .as_deref()
+                    .and_then(TraceLevel::parse)
+                    .expect("--trace-level needs off|epoch|request")
+            }
             "--series" => args.series = true,
             "--plot" => args.plot = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--series] [--plot]"
+                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--trace-out DIR] [--trace-level off|epoch|request] [--series] [--plot]"
                 );
                 std::process::exit(0);
             }
@@ -181,16 +204,24 @@ fn main() {
 
     let (exps, entries) = build_grid(&figures, &seeds);
     let jobs = runner::effective_jobs(args.jobs);
+    // Trace recording is opt-in: without a destination the sweep runs at
+    // the zero-cost Off level regardless of the requested verbosity.
+    let trace_level = if args.trace_out.is_some() {
+        args.trace_level
+    } else {
+        TraceLevel::Off
+    };
     println!(
-        "sweep grid: {} figures x {} seeds -> {} tasks on {} workers",
+        "sweep grid: {} figures x {} seeds -> {} tasks on {} workers (trace: {})",
         figures.len(),
         seeds.len(),
         runner::plan(&exps).len(),
-        jobs
+        jobs,
+        trace_level.name()
     );
 
     let t0 = Instant::now();
-    let outcomes = runner::run_grid(&exps, jobs);
+    let outcomes = runner::run_grid_traced(&exps, jobs, trace_level);
     let wall_secs = t0.elapsed().as_secs_f64();
 
     // Regroup outcomes per experiment, in task order.
@@ -233,8 +264,10 @@ fn main() {
         }
         let paths = write_figure_csvs_tagged(&exp.name, entry.tag.as_deref(), &results, &args.out)
             .expect("write CSVs");
+        write_tuner_epochs_csv(&exp.name, entry.tag.as_deref(), &results, &args.out)
+            .expect("write tuner-epoch CSV");
         println!(
-            "  wrote {} CSV series to {}",
+            "  wrote {} CSV series (+ tuner epochs) to {}",
             paths.len(),
             args.out.display()
         );
@@ -257,8 +290,50 @@ fn main() {
         all.sort_by_key(|o| o.task.id);
         all
     };
+
+    // Dump each task's JSONL trace (task order; names mirror the CSVs) and
+    // calibrate the tracing overhead on a reduced figure-6 run.
+    let overhead = args.trace_out.as_deref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let mut written = 0usize;
+        for o in &outcomes {
+            let safe: String = o
+                .task
+                .label
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect();
+            let name = match &entries[o.task.experiment].tag {
+                Some(t) => format!("{}_{t}_{safe}.jsonl", o.task.name),
+                None => format!("{}_{safe}.jsonl", o.task.name),
+            };
+            let mut body = o.trace_lines.join("\n");
+            if !body.is_empty() {
+                body.push('\n');
+            }
+            std::fs::write(dir.join(name), body).expect("write trace");
+            written += 1;
+        }
+        println!("wrote {written} JSONL traces to {}", dir.display());
+        let probe = reduced(figure(6, args.seed).expect("figure 6 exists"), args.seed);
+        let over = measure_trace_overhead(&probe);
+        println!(
+            "trace overhead (reduced fig6): off {:.0} ev/s, request-level {:.0} ev/s ({:+.2}%)",
+            over.off_events_per_sec, over.on_events_per_sec, over.overhead_pct
+        );
+        over
+    });
+
     let events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
-    let manifest = runner::manifest(args.seed, jobs, wall_secs, &outcomes, &verdicts);
+    let manifest = runner::manifest(
+        args.seed,
+        jobs,
+        wall_secs,
+        &outcomes,
+        &verdicts,
+        trace_level,
+        overhead.as_ref(),
+    );
     std::fs::write(&args.bench_out, manifest.render_pretty()).expect("write bench manifest");
     println!(
         "\n{} tasks, {events} simulated events in {wall_secs:.2} s on {jobs} workers ({:.0} events/s) -> {}",

@@ -33,9 +33,10 @@ pub use figures::{
 };
 pub use report::{
     checks_table, series_table, sparklines, summary_table, write_figure_csvs,
-    write_figure_csvs_tagged, write_series_csv,
+    write_figure_csvs_tagged, write_series_csv, write_tuner_epochs_csv,
 };
 pub use runner::{
-    effective_jobs, manifest, plan, run_grid, set_default_jobs, strip_timing, FigureVerdict,
-    SimTask, TaskOutcome, MANIFEST_SCHEMA,
+    effective_jobs, manifest, measure_trace_overhead, plan, run_grid, run_grid_traced,
+    set_default_jobs, strip_timing, FigureVerdict, SimTask, TaskOutcome, TraceOverhead,
+    MANIFEST_SCHEMA,
 };

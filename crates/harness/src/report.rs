@@ -142,6 +142,57 @@ pub fn write_figure_csvs_tagged(
     Ok(paths)
 }
 
+/// Write the per-epoch tuner telemetry of a figure's runs as one combined
+/// CSV (`<figure>[_<tag>]_tuner_epochs.csv`): one row per tuner decision
+/// per epoch, covering every policy that exposed telemetry. Epochs without
+/// a tuner record (static policies, pre-warm-up ticks) are skipped, so
+/// static-policy figures produce a header-only file. Fixed-precision
+/// formatting keeps the bytes deterministic across platforms.
+pub fn write_tuner_epochs_csv(
+    figure: &str,
+    tag: Option<&str>,
+    results: &[RunResult],
+    dir: &Path,
+) -> io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let name = match tag {
+        Some(t) => format!("{figure}_{t}_tuner_epochs.csv"),
+        None => format!("{figure}_tuner_epochs.csv"),
+    };
+    let path = dir.join(name);
+    let mut f = io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(
+        f,
+        "policy,epoch,time_s,mu_ms,planned,moves,server,latency_ms,old_share,new_share,applied_share,outcome"
+    )?;
+    for r in results {
+        for e in &r.epochs {
+            let Some(tune) = &e.tune else { continue };
+            for d in &tune.decisions {
+                writeln!(
+                    f,
+                    "{},{},{:.3},{:.3},{},{},{},{:.3},{:.6},{:.6},{:.6},{}",
+                    r.policy,
+                    e.index,
+                    e.time_s,
+                    tune.mu_ms,
+                    tune.planned,
+                    e.moves,
+                    d.server.0,
+                    d.latency_ms,
+                    d.old_share,
+                    d.new_share,
+                    d.applied_share,
+                    d.outcome.name()
+                )?;
+            }
+        }
+    }
+    f.flush()?;
+    Ok(path)
+}
+
 /// Render shape-check verdicts as the `[PASS]`/`[FAIL]` block the
 /// `figures` binary prints:
 ///
@@ -246,6 +297,67 @@ mod tests {
         let dir = std::env::temp_dir().join("anu_report_tag_test");
         let paths = write_figure_csvs_tagged("fig6", Some("s42"), &rs, &dir).unwrap();
         assert!(paths[0].ends_with("fig6_s42_rr.csv"), "{:?}", paths[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tuner_epochs_csv_has_decision_rows() {
+        use anu_core::TuningConfig;
+        let rs = Experiment {
+            name: "t".into(),
+            cluster: ClusterConfig::paper(),
+            workload: SyntheticConfig {
+                n_file_sets: 20,
+                total_requests: 2_000,
+                duration_secs: 600.0,
+                weights: WeightDist::PowerOfUniform { alpha: 50.0 },
+                mean_cost_secs: 0.3,
+                cost: CostModel::Deterministic,
+                seed: 5,
+            }
+            .generate(),
+            policies: vec![
+                ("rr".into(), PolicyKind::RoundRobin),
+                (
+                    "anu".into(),
+                    PolicyKind::Anu {
+                        tuning: TuningConfig::paper(),
+                    },
+                ),
+            ],
+            seed: 5,
+        }
+        .run_all();
+        let dir = std::env::temp_dir().join("anu_tuner_epochs_test");
+        let path = write_tuner_epochs_csv("fig6", None, &rs, &dir).unwrap();
+        assert!(path.ends_with("fig6_tuner_epochs.csv"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines = content.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "policy,epoch,time_s,mu_ms,planned,moves,server,latency_ms,old_share,new_share,applied_share,outcome"
+        );
+        let rows: Vec<&str> = lines.collect();
+        assert!(!rows.is_empty(), "adaptive policy produces decision rows");
+        assert!(
+            rows.iter().all(|r| r.starts_with("anu,")),
+            "rr has no tuner"
+        );
+        // Every row carries a named heuristic outcome.
+        for r in &rows {
+            let outcome = r.rsplit(',').next().unwrap();
+            assert!(
+                [
+                    "scaled",
+                    "clamped",
+                    "floored",
+                    "frozen_band",
+                    "frozen_divergent"
+                ]
+                .contains(&outcome),
+                "unknown outcome {outcome} in {r}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

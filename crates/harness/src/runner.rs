@@ -28,13 +28,16 @@ use crate::experiment::Experiment;
 use crate::figures::ShapeCheck;
 use anu_cluster::RunResult;
 use anu_core::Json;
+use anu_trace::{JsonlBuffer, NullSink, TraceLevel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Manifest schema identifier; bump when the shape of
-/// `BENCH_figures.json` changes incompatibly.
-pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v1";
+/// `BENCH_figures.json` changes incompatibly. v2 added structured-trace
+/// fields: per-task `trace_events`, top-level `trace_level` and
+/// `trace_overhead`.
+pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v2";
 
 /// Requested worker count for [`Experiment::run_all`] when the caller does
 /// not pass one explicitly; 0 means "one worker per available core".
@@ -93,6 +96,10 @@ pub struct TaskOutcome {
     pub wall_secs: f64,
     /// Simulated events per wall-clock second (timing field).
     pub events_per_sec: f64,
+    /// Structured trace of the run, one JSONL line per event, in emission
+    /// order. Empty when the sweep ran at [`TraceLevel::Off`]. Fully
+    /// deterministic: byte-identical at any worker count.
+    pub trace_lines: Vec<String>,
 }
 
 /// Enumerate the sweep grid of `experiments` in declaration order:
@@ -126,6 +133,19 @@ pub fn plan(experiments: &[Experiment]) -> Vec<SimTask> {
 /// propagates out of the scope and fails the whole sweep — partial grids
 /// are never reported.
 pub fn run_grid(experiments: &[Experiment], jobs: usize) -> Vec<TaskOutcome> {
+    run_grid_traced(experiments, jobs, TraceLevel::Off)
+}
+
+/// [`run_grid`] with structured tracing: every task records its run into a
+/// per-task [`JsonlBuffer`] at `level`, returned as
+/// [`TaskOutcome::trace_lines`]. Tracing never schedules simulation events,
+/// so the results (and the trace itself) stay byte-identical at any worker
+/// count; [`TraceLevel::Off`] skips the buffer entirely.
+pub fn run_grid_traced(
+    experiments: &[Experiment],
+    jobs: usize,
+    level: TraceLevel,
+) -> Vec<TaskOutcome> {
     let tasks = plan(experiments);
     if tasks.is_empty() {
         return Vec::new();
@@ -139,7 +159,7 @@ pub fn run_grid(experiments: &[Experiment], jobs: usize) -> Vec<TaskOutcome> {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(task) = tasks.get(i) else { break };
-                let outcome = run_task(task, &experiments[task.experiment]);
+                let outcome = run_task(task, &experiments[task.experiment], level);
                 // anu-lint: allow(panic) -- slot mutexes are uncontended (each task writes its own) and a poisoned lock means a sibling already aborted the sweep
                 *done[i].lock().expect("unpoisoned slot") = Some(outcome);
             });
@@ -155,11 +175,19 @@ pub fn run_grid(experiments: &[Experiment], jobs: usize) -> Vec<TaskOutcome> {
 }
 
 /// Run one task's simulation, timing it.
-fn run_task(task: &SimTask, exp: &Experiment) -> TaskOutcome {
+fn run_task(task: &SimTask, exp: &Experiment, level: TraceLevel) -> TaskOutcome {
     let (label, kind) = &exp.policies[task.policy];
     let t0 = Instant::now();
     let mut policy = kind.build(&exp.cluster, &exp.workload, exp.seed);
-    let mut result = anu_cluster::run(&exp.cluster, &exp.workload, policy.as_mut());
+    let (mut result, trace_lines) = if level > TraceLevel::Off {
+        let mut buf = JsonlBuffer::new(level);
+        let r = anu_cluster::run_traced(&exp.cluster, &exp.workload, policy.as_mut(), &mut buf);
+        (r, buf.into_lines())
+    } else {
+        let r =
+            anu_cluster::run_traced(&exp.cluster, &exp.workload, policy.as_mut(), &mut NullSink);
+        (r, Vec::new())
+    };
     result.policy = label.clone();
     let wall_secs = t0.elapsed().as_secs_f64();
     let events_per_sec = if wall_secs > 0.0 {
@@ -172,6 +200,62 @@ fn run_task(task: &SimTask, exp: &Experiment) -> TaskOutcome {
         result,
         wall_secs,
         events_per_sec,
+        trace_lines,
+    }
+}
+
+/// Trace-overhead calibration: events/sec of the same experiment with
+/// tracing off vs fully on ([`TraceLevel::Request`] into a JSONL buffer).
+/// Pure timing data — two runs never reproduce it exactly, so the manifest
+/// treats it as a timing field (see [`TIMING_FIELDS`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOverhead {
+    /// Simulated events per wall-clock second with the null sink.
+    pub off_events_per_sec: f64,
+    /// Events per second while recording a request-level JSONL trace.
+    pub on_events_per_sec: f64,
+    /// Relative slowdown in percent: `(off - on) / off * 100`.
+    pub overhead_pct: f64,
+}
+
+impl TraceOverhead {
+    /// Manifest fragment.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("off_events_per_sec", Json::f64(self.off_events_per_sec)),
+            ("on_events_per_sec", Json::f64(self.on_events_per_sec)),
+            ("overhead_pct", Json::f64(self.overhead_pct)),
+        ])
+    }
+}
+
+/// Measure trace overhead on one experiment's first policy: run it once
+/// with the null sink and once recording a request-level trace, and compare
+/// events/sec. The simulation results are asserted identical — tracing must
+/// observe, never perturb.
+pub fn measure_trace_overhead(exp: &Experiment) -> TraceOverhead {
+    let timed = |level: TraceLevel| {
+        let tasks = plan(std::slice::from_ref(exp));
+        let o = run_task(&tasks[0], exp, level);
+        (o.events_per_sec, o.result.summary)
+    };
+    // Warm-up run so neither measured pass pays first-touch costs.
+    let _ = timed(TraceLevel::Off);
+    let (off, off_summary) = timed(TraceLevel::Off);
+    let (on, on_summary) = timed(TraceLevel::Request);
+    assert_eq!(
+        off_summary, on_summary,
+        "tracing must not change simulation results"
+    );
+    let overhead_pct = if off > 0.0 {
+        (off - on) / off * 100.0
+    } else {
+        0.0
+    };
+    TraceOverhead {
+        off_events_per_sec: off,
+        on_events_per_sec: on,
+        overhead_pct,
     }
 }
 
@@ -221,6 +305,8 @@ pub fn manifest(
     wall_secs: f64,
     outcomes: &[TaskOutcome],
     verdicts: &[FigureVerdict],
+    trace_level: TraceLevel,
+    overhead: Option<&TraceOverhead>,
 ) -> Json {
     let total_events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
     let events_per_sec = if wall_secs > 0.0 {
@@ -242,6 +328,7 @@ pub fn manifest(
                     Json::u64(o.result.summary.completed_requests),
                 ),
                 ("migrations", Json::u64(o.result.summary.migrations)),
+                ("trace_events", Json::usize(o.trace_lines.len())),
                 ("wall_secs", Json::f64(o.wall_secs)),
                 ("events_per_sec", Json::f64(o.events_per_sec)),
             ])
@@ -277,6 +364,11 @@ pub fn manifest(
         ("sim_events_total", Json::u64(total_events)),
         ("wall_secs", Json::f64(wall_secs)),
         ("events_per_sec", Json::f64(events_per_sec)),
+        ("trace_level", Json::str(trace_level.name())),
+        (
+            "trace_overhead",
+            overhead.map_or(Json::Null, TraceOverhead::to_json),
+        ),
         (
             "all_pass",
             Json::bool(verdicts.iter().all(FigureVerdict::pass)),
@@ -288,7 +380,7 @@ pub fn manifest(
 
 /// Keys of manifest fields that legitimately differ between two runs of
 /// the same grid (they measure the run, not the simulation).
-pub const TIMING_FIELDS: [&str; 3] = ["wall_secs", "events_per_sec", "jobs"];
+pub const TIMING_FIELDS: [&str; 4] = ["wall_secs", "events_per_sec", "jobs", "trace_overhead"];
 
 /// Copy of a manifest with every timing field removed, at every depth.
 /// Two manifests of the same grid must be equal after stripping, whatever
@@ -420,8 +512,13 @@ mod tests {
         }];
         let a = run_grid(&exps, 1);
         let b = run_grid(&exps, 8);
-        let ma = manifest(5, 1, 1.23, &a, &verdicts);
-        let mb = manifest(5, 8, 0.45, &b, &verdicts);
+        let over = TraceOverhead {
+            off_events_per_sec: 1e6,
+            on_events_per_sec: 9.9e5,
+            overhead_pct: 1.0,
+        };
+        let ma = manifest(5, 1, 1.23, &a, &verdicts, TraceLevel::Off, Some(&over));
+        let mb = manifest(5, 8, 0.45, &b, &verdicts, TraceLevel::Off, None);
         assert_ne!(ma, mb, "timing fields must differ");
         assert_eq!(strip_timing(&ma), strip_timing(&mb));
         // The stripped manifest still carries the deterministic payload.
@@ -445,15 +542,18 @@ mod tests {
                 pass: false,
             }],
         }];
-        let m = manifest(5, 2, 0.5, &outcomes, &verdicts);
+        let m = manifest(5, 2, 0.5, &outcomes, &verdicts, TraceLevel::Epoch, None);
         assert_eq!(m.get("schema").unwrap().as_str().unwrap(), MANIFEST_SCHEMA);
         assert_eq!(m.get("base_seed").unwrap().as_u64().unwrap(), 5);
         assert_eq!(m.get("tasks_total").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(m.get("trace_level").unwrap().as_str().unwrap(), "epoch");
+        assert_eq!(m.get("trace_overhead").unwrap(), &Json::Null);
         assert!(!m.get("all_pass").unwrap().as_bool().unwrap());
         let tasks = m.get("tasks").unwrap().as_arr().unwrap();
         assert_eq!(tasks.len(), 3);
         for t in tasks {
             assert!(t.get("sim_events").unwrap().as_u64().unwrap() > 0);
+            assert!(t.get("trace_events").is_ok());
             assert!(t.get("wall_secs").is_ok());
             assert!(t.get("events_per_sec").is_ok());
         }
@@ -463,6 +563,36 @@ mod tests {
         assert!(!figs[0].get("pass").unwrap().as_bool().unwrap());
         // Round-trips through the parser.
         assert_eq!(Json::parse(&m.render_pretty()).unwrap(), m);
+    }
+
+    #[test]
+    fn traces_are_identical_across_worker_counts() {
+        let exps = vec![tiny_experiment("expT", 9)];
+        let serial = run_grid_traced(&exps, 1, TraceLevel::Request);
+        let parallel = run_grid_traced(&exps, 8, TraceLevel::Request);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!(!a.trace_lines.is_empty(), "request level records events");
+            assert_eq!(
+                a.trace_lines, b.trace_lines,
+                "task {} trace differs across worker counts",
+                a.task.id
+            );
+        }
+        // Off-level sweeps carry no trace payload.
+        let off = run_grid(&exps, 2);
+        assert!(off.iter().all(|o| o.trace_lines.is_empty()));
+    }
+
+    #[test]
+    fn trace_overhead_measures_both_modes() {
+        let exp = tiny_experiment("expO", 11);
+        let over = measure_trace_overhead(&exp);
+        assert!(over.off_events_per_sec > 0.0);
+        assert!(over.on_events_per_sec > 0.0);
+        assert!(over.overhead_pct < 100.0);
+        let j = over.to_json();
+        assert!(j.get("overhead_pct").is_ok());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::assign::diff_moves;
 use anu_cluster::{Assignment, ClusterView, MoveSet, PlacementPolicy};
 use anu_core::{
     AnuConfig, FileSetId, LoadReport, Matching, PairwiseTuner, PlacementMap, ServerId,
-    SharePlanner, Tuner,
+    SharePlanner, TuneEpoch, Tuner,
 };
 use std::collections::BTreeMap;
 
@@ -40,6 +40,10 @@ pub struct AnuPolicy {
     /// Cumulative statistics for analysis.
     ticks_with_moves: u64,
     ticks_total: u64,
+    /// Tuner telemetry from the last tick, with `applied_share` filled in
+    /// from the post-rebalance placement map (the quantized region widths
+    /// the cluster actually runs with).
+    last_epoch: Option<TuneEpoch>,
 }
 
 impl AnuPolicy {
@@ -54,6 +58,7 @@ impl AnuPolicy {
             file_sets: Vec::new(),
             ticks_with_moves: 0,
             ticks_total: 0,
+            last_epoch: None,
         }
     }
 
@@ -146,17 +151,44 @@ impl PlacementPolicy for AnuPolicy {
         // anu-lint: allow(panic) -- fails only on invariant corruption; halting is correct
         map.restore_half_occupancy().expect("restore succeeds");
         let shares = map.share_fractions();
-        let Some(targets) = self.planner.plan_shares(&shares, reports) else {
-            return Vec::new(); // balanced within the heuristics' tolerance
+        let planned = self.planner.plan_shares(&shares, reports);
+        let mut epoch = self.planner.take_epoch();
+        let Some(targets) = planned else {
+            // Balanced within the heuristics' tolerance: the map is
+            // untouched, so every decision applies at its current share.
+            if let Some(e) = &mut epoch {
+                for d in &mut e.decisions {
+                    if let Some(&a) = shares.get(&d.server) {
+                        d.applied_share = a;
+                    }
+                }
+            }
+            self.last_epoch = epoch;
+            return Vec::new();
         };
         // anu-lint: allow(panic) -- targets come from normalize_targets over the mapped servers
         map.rebalance(&targets).expect("valid targets");
+        if let Some(e) = &mut epoch {
+            // Record the quantized shares the rebalanced map actually holds,
+            // which differ from the tuner's real-valued targets.
+            let applied = map.share_fractions();
+            for d in &mut e.decisions {
+                if let Some(&a) = applied.get(&d.server) {
+                    d.applied_share = a;
+                }
+            }
+        }
+        self.last_epoch = epoch;
         let target = Self::target_assignment(map, &self.file_sets);
         let moves = diff_moves(assignment, &target);
         if !moves.is_empty() {
             self.ticks_with_moves += 1;
         }
         moves
+    }
+
+    fn take_epoch(&mut self) -> Option<TuneEpoch> {
+        self.last_epoch.take()
     }
 
     fn on_fail(
@@ -263,6 +295,62 @@ mod tests {
         );
         assert!(moves.is_empty());
         assert_eq!(p.tick_stats(), (0, 1));
+    }
+
+    #[test]
+    fn tick_telemetry_reports_applied_shares() {
+        let mut p = AnuPolicy::with_seed(7);
+        let a = p.initial(&view(4), &sets(200));
+        assert!(p.take_epoch().is_none(), "no epoch before any tick");
+        let moves = p.on_tick(
+            &view(4),
+            &reports(&[
+                (0, 900.0, 100),
+                (1, 50.0, 100),
+                (2, 50.0, 100),
+                (3, 50.0, 100),
+            ]),
+            &a,
+        );
+        assert!(!moves.is_empty());
+        let epoch = p.take_epoch().expect("planned tick exposes telemetry");
+        assert!(epoch.planned);
+        assert_eq!(epoch.decisions.len(), 4);
+        // anu-lint: allow(panic) -- test helper
+        let d0 = epoch
+            .decisions
+            .iter()
+            .find(|d| d.server == ServerId(0))
+            .unwrap();
+        assert!(
+            d0.new_share < d0.old_share,
+            "overloaded server's target share shrinks"
+        );
+        // applied_share is the map's quantized share, which generally
+        // differs from the real-valued target but stays in (0, 1).
+        for d in &epoch.decisions {
+            assert!(d.applied_share > 0.0 && d.applied_share < 1.0);
+        }
+        let applied_total: f64 = epoch.decisions.iter().map(|d| d.applied_share).sum();
+        assert!((applied_total - 1.0).abs() < 1e-9, "shares sum to one");
+        assert!(p.take_epoch().is_none(), "take_epoch drains the record");
+    }
+
+    #[test]
+    fn balanced_tick_telemetry_is_all_frozen() {
+        let mut p = AnuPolicy::with_seed(8);
+        let a = p.initial(&view(3), &sets(90));
+        let moves = p.on_tick(
+            &view(3),
+            &reports(&[(0, 100.0, 50), (1, 101.0, 50), (2, 99.0, 50)]),
+            &a,
+        );
+        assert!(moves.is_empty());
+        let epoch = p.take_epoch().expect("even frozen ticks expose telemetry");
+        assert!(!epoch.planned);
+        for d in &epoch.decisions {
+            assert_eq!(d.applied_share, d.old_share, "untouched map keeps shares");
+        }
     }
 
     #[test]

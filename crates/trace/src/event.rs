@@ -1,0 +1,365 @@
+//! The typed event taxonomy.
+//!
+//! Every record a simulation can emit is a [`TraceEvent`] variant; sinks
+//! receive the typed value plus a simulated timestamp and decide how to
+//! render it. [`TraceEvent::to_json`] is the canonical JSONL rendering,
+//! shared by every sink so trace bytes are identical regardless of which
+//! component emitted them.
+
+use anu_core::{Json, ToJson, TuneEpoch};
+
+/// One structured trace record.
+///
+/// Variants group into per-request events (recorded only at
+/// [`TraceLevel::Request`]), epoch/tuner events, migration lifecycle
+/// events, fault events, and span markers. All payloads are owned plain
+/// data: an event is constructed only after the emitting site has
+/// checked [`Tracer::enabled`], so allocation cost is paid exactly when
+/// a sink will see the record.
+///
+/// [`TraceLevel::Request`]: crate::TraceLevel::Request
+/// [`Tracer::enabled`]: crate::Tracer::enabled
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A request entered the system (request level).
+    RequestArrival {
+        /// Destination server, when the file set is currently mapped;
+        /// `None` while its set is mid-migration (the request buffers).
+        server: Option<u32>,
+        /// File set the request touches.
+        set: u64,
+        /// True when the request was buffered behind a migration instead
+        /// of being enqueued.
+        buffered: bool,
+    },
+    /// A request began service at a server (request level).
+    RequestDispatch {
+        /// Serving server.
+        server: u32,
+        /// File set the request touches.
+        set: u64,
+        /// Time spent queued before service, in microseconds.
+        wait_us: u64,
+    },
+    /// A request finished service (request level).
+    RequestComplete {
+        /// Serving server.
+        server: u32,
+        /// File set the request touched.
+        set: u64,
+        /// Arrival-to-completion latency in microseconds.
+        latency_us: u64,
+        /// Queue population remaining at the server after completion.
+        depth: u64,
+    },
+    /// A queue-depth sample (request level on enqueue; epoch level at
+    /// tick boundaries, one per live server).
+    QueueDepth {
+        /// Sampled server.
+        server: u32,
+        /// Jobs queued or in service.
+        depth: u64,
+    },
+    /// A tuning epoch (policy tick) is starting (epoch level).
+    EpochBegin {
+        /// Zero-based epoch index.
+        epoch: u64,
+    },
+    /// A tuning epoch finished (epoch level). Carries the tuner's full
+    /// decision record — old → new shares per server and which heuristic
+    /// froze or clamped each one — when the policy exposes one.
+    EpochEnd {
+        /// Zero-based epoch index.
+        epoch: u64,
+        /// File-set migrations the policy ordered this epoch.
+        moves: u64,
+        /// Per-server tuner decisions, when a tuner ran this epoch.
+        tune: Option<TuneEpoch>,
+    },
+    /// A file-set migration was initiated (epoch level).
+    MigrationStart {
+        /// Migrating file set.
+        set: u64,
+        /// Source server; `None` when the set was unmapped (failover of
+        /// an orphaned set).
+        from: Option<u32>,
+        /// Destination server.
+        to: u32,
+    },
+    /// The source server's dirty state for a migrating set is scheduled
+    /// to be flushed (epoch level). Emitted eagerly at migration start —
+    /// tracing must never schedule calendar events, so the *scheduled*
+    /// flush-completion time is carried in the payload instead.
+    MigrationFlush {
+        /// Migrating file set.
+        set: u64,
+        /// Source server being flushed, when one exists.
+        from: Option<u32>,
+        /// Simulated time (µs) at which the flush+transfer completes.
+        done_us: u64,
+    },
+    /// A migration completed and the set is live at its destination
+    /// (epoch level).
+    MigrationFinish {
+        /// Migrated file set.
+        set: u64,
+        /// Destination server now owning the set.
+        to: u32,
+        /// Requests that buffered behind the migration and were released.
+        buffered: u64,
+    },
+    /// A server failed (epoch level).
+    Fault {
+        /// Failed server.
+        server: u32,
+        /// In-flight jobs drained from its queue for re-issue.
+        drained: u64,
+    },
+    /// A failed server came back (epoch level).
+    Recover {
+        /// Recovered server.
+        server: u32,
+    },
+    /// A diagnostic condition worth surfacing (epoch level).
+    Warning {
+        /// Stable machine-readable code, e.g. `stragglers`.
+        code: &'static str,
+        /// Human-readable detail.
+        detail: String,
+        /// How many instances the warning covers.
+        count: u64,
+    },
+    /// A sim-time span opened (epoch level).
+    SpanBegin {
+        /// Span id, sequential per run.
+        id: u64,
+        /// Enclosing span, if nested.
+        parent: Option<u64>,
+        /// What the span covers (`run`, `epoch`, …).
+        label: String,
+    },
+    /// A sim-time span closed (epoch level).
+    SpanEnd {
+        /// Id returned by the matching open.
+        id: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case discriminator written to the `ev` JSON field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RequestArrival { .. } => "arrival",
+            TraceEvent::RequestDispatch { .. } => "dispatch",
+            TraceEvent::RequestComplete { .. } => "complete",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
+            TraceEvent::EpochBegin { .. } => "epoch_begin",
+            TraceEvent::EpochEnd { .. } => "epoch_end",
+            TraceEvent::MigrationStart { .. } => "migration_start",
+            TraceEvent::MigrationFlush { .. } => "migration_flush",
+            TraceEvent::MigrationFinish { .. } => "migration_finish",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Warning { .. } => "warning",
+            TraceEvent::SpanBegin { .. } => "span_begin",
+            TraceEvent::SpanEnd { .. } => "span_end",
+        }
+    }
+
+    /// Canonical JSON object for this event: `{"ev": kind, …fields}`.
+    /// Field order is fixed by construction, so rendered lines are
+    /// byte-stable.
+    pub fn to_json(&self) -> Json {
+        let mut f: Vec<(String, Json)> = vec![("ev".into(), Json::str(self.kind()))];
+        match self {
+            TraceEvent::RequestArrival {
+                server,
+                set,
+                buffered,
+            } => {
+                f.push(("server".into(), opt_u32(*server)));
+                f.push(("set".into(), Json::u64(*set)));
+                f.push(("buffered".into(), Json::bool(*buffered)));
+            }
+            TraceEvent::RequestDispatch {
+                server,
+                set,
+                wait_us,
+            } => {
+                f.push(("server".into(), Json::u32(*server)));
+                f.push(("set".into(), Json::u64(*set)));
+                f.push(("wait_us".into(), Json::u64(*wait_us)));
+            }
+            TraceEvent::RequestComplete {
+                server,
+                set,
+                latency_us,
+                depth,
+            } => {
+                f.push(("server".into(), Json::u32(*server)));
+                f.push(("set".into(), Json::u64(*set)));
+                f.push(("latency_us".into(), Json::u64(*latency_us)));
+                f.push(("depth".into(), Json::u64(*depth)));
+            }
+            TraceEvent::QueueDepth { server, depth } => {
+                f.push(("server".into(), Json::u32(*server)));
+                f.push(("depth".into(), Json::u64(*depth)));
+            }
+            TraceEvent::EpochBegin { epoch } => {
+                f.push(("epoch".into(), Json::u64(*epoch)));
+            }
+            TraceEvent::EpochEnd { epoch, moves, tune } => {
+                f.push(("epoch".into(), Json::u64(*epoch)));
+                f.push(("moves".into(), Json::u64(*moves)));
+                let tune_json = match tune {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                };
+                f.push(("tune".into(), tune_json));
+            }
+            TraceEvent::MigrationStart { set, from, to } => {
+                f.push(("set".into(), Json::u64(*set)));
+                f.push(("from".into(), opt_u32(*from)));
+                f.push(("to".into(), Json::u32(*to)));
+            }
+            TraceEvent::MigrationFlush { set, from, done_us } => {
+                f.push(("set".into(), Json::u64(*set)));
+                f.push(("from".into(), opt_u32(*from)));
+                f.push(("done_us".into(), Json::u64(*done_us)));
+            }
+            TraceEvent::MigrationFinish { set, to, buffered } => {
+                f.push(("set".into(), Json::u64(*set)));
+                f.push(("to".into(), Json::u32(*to)));
+                f.push(("buffered".into(), Json::u64(*buffered)));
+            }
+            TraceEvent::Fault { server, drained } => {
+                f.push(("server".into(), Json::u32(*server)));
+                f.push(("drained".into(), Json::u64(*drained)));
+            }
+            TraceEvent::Recover { server } => {
+                f.push(("server".into(), Json::u32(*server)));
+            }
+            TraceEvent::Warning {
+                code,
+                detail,
+                count,
+            } => {
+                f.push(("code".into(), Json::str(*code)));
+                f.push(("detail".into(), Json::str(detail)));
+                f.push(("count".into(), Json::u64(*count)));
+            }
+            TraceEvent::SpanBegin { id, parent, label } => {
+                f.push(("id".into(), Json::u64(*id)));
+                let parent_json = match parent {
+                    Some(p) => Json::u64(*p),
+                    None => Json::Null,
+                };
+                f.push(("parent".into(), parent_json));
+                f.push(("label".into(), Json::str(label)));
+            }
+            TraceEvent::SpanEnd { id } => {
+                f.push(("id".into(), Json::u64(*id)));
+            }
+        }
+        Json::Obj(f)
+    }
+}
+
+/// `Some(id)` → number, `None` → JSON null.
+fn opt_u32(v: Option<u32>) -> Json {
+    match v {
+        Some(x) => Json::u32(x),
+        None => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_renders_with_ev_first() {
+        let events = [
+            TraceEvent::RequestArrival {
+                server: None,
+                set: 3,
+                buffered: true,
+            },
+            TraceEvent::RequestDispatch {
+                server: 1,
+                set: 3,
+                wait_us: 250,
+            },
+            TraceEvent::RequestComplete {
+                server: 1,
+                set: 3,
+                latency_us: 900,
+                depth: 0,
+            },
+            TraceEvent::QueueDepth {
+                server: 0,
+                depth: 4,
+            },
+            TraceEvent::EpochBegin { epoch: 2 },
+            TraceEvent::EpochEnd {
+                epoch: 2,
+                moves: 1,
+                tune: None,
+            },
+            TraceEvent::MigrationStart {
+                set: 7,
+                from: Some(0),
+                to: 1,
+            },
+            TraceEvent::MigrationFlush {
+                set: 7,
+                from: Some(0),
+                done_us: 123_456,
+            },
+            TraceEvent::MigrationFinish {
+                set: 7,
+                to: 1,
+                buffered: 2,
+            },
+            TraceEvent::Fault {
+                server: 1,
+                drained: 5,
+            },
+            TraceEvent::Recover { server: 1 },
+            TraceEvent::Warning {
+                code: "stragglers",
+                detail: "requests in flight past horizon".into(),
+                count: 9,
+            },
+            TraceEvent::SpanBegin {
+                id: 0,
+                parent: None,
+                label: "run".into(),
+            },
+            TraceEvent::SpanEnd { id: 0 },
+        ];
+        for ev in &events {
+            let line = ev.to_json().render();
+            let prefix = format!(r#"{{"ev":"{}""#, ev.kind());
+            assert!(
+                line.starts_with(&prefix),
+                "{line} does not start with {prefix}"
+            );
+            // Round-trips through the parser (valid JSON).
+            assert!(Json::parse(&line).is_ok(), "unparseable: {line}");
+        }
+    }
+
+    #[test]
+    fn optional_fields_render_as_null() {
+        let ev = TraceEvent::MigrationStart {
+            set: 1,
+            from: None,
+            to: 2,
+        };
+        assert_eq!(
+            ev.to_json().render(),
+            r#"{"ev":"migration_start","set":1,"from":null,"to":2}"#
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Log-scaled histograms and a fixed-size sample ring.
+//!
+//! [`LogHistogram`] buckets by power of two: bucket `i ≥ 1` covers
+//! `[2^(i-1), 2^i - 1]` and bucket 0 covers exactly `{0}`. That gives
+//! ~2× quantile resolution over the full `u64` range at a constant 65
+//! counters — cheap enough to keep recording even in untraced runs, so
+//! `RunSummary` percentiles exist whether or not a sink is attached.
+//! Every operation is integer arithmetic: quantiles are deterministic
+//! and identical across platforms.
+
+use anu_core::Json;
+
+/// Power-of-two bucketed histogram over `u64` values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// `buckets[0]` counts zeros; `buckets[i]` counts `[2^(i-1), 2^i-1]`.
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Bucket count: one for zero plus one per bit of `u64`.
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; Self::BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// The bucket index holding `v`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value a quantile in this
+    /// bucket reports). Saturates at `u64::MAX` for the top bucket.
+    pub fn upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The quantile `q ∈ [0, 1]` as the upper bound of the bucket holding
+    /// the rank-`⌈q·count⌉` observation (nearest-rank on bucket bounds —
+    /// coarse by design: at most 2× above the true value). Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::upper_bound(i);
+            }
+        }
+        Self::upper_bound(Self::BUCKETS - 1)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)`, low to high.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::upper_bound(i), n))
+            .collect()
+    }
+
+    /// Compact JSON: `{"count":N,"buckets":[[ub,n],…]}` (non-empty only).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::u64(self.count)),
+            (
+                "buckets",
+                Json::arr(
+                    self.nonzero()
+                        .into_iter()
+                        .map(|(ub, n)| Json::arr(vec![Json::u64(ub), Json::u64(n)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A fixed-capacity ring of the most recent `u64` samples (queue depths).
+///
+/// Bounded by construction so per-run memory stays constant no matter
+/// how long the simulation runs; the summary keeps running aggregates
+/// while the ring answers "what did the last window look like".
+#[derive(Clone, Debug)]
+pub struct DepthRing {
+    slots: [u64; Self::CAP],
+    len: usize,
+    pos: usize,
+}
+
+impl Default for DepthRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DepthRing {
+    /// Ring capacity.
+    pub const CAP: usize = 64;
+
+    /// An empty ring.
+    pub fn new() -> Self {
+        DepthRing {
+            slots: [0; Self::CAP],
+            len: 0,
+            pos: 0,
+        }
+    }
+
+    /// Push a sample, evicting the oldest once full.
+    pub fn push(&mut self, v: u64) {
+        self.slots[self.pos] = v;
+        self.pos = (self.pos + 1) % Self::CAP;
+        self.len = (self.len + 1).min(Self::CAP);
+    }
+
+    /// Samples currently held (≤ [`CAP`]).
+    ///
+    /// [`CAP`]: DepthRing::CAP
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest sample in the window (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.slots[..self.len].iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean of the window (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.slots[..self.len].iter().sum::<u64>() as f64 / self.len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anu_des::RngStream;
+
+    /// Satellite: the bucket boundaries are pinned — changing them would
+    /// silently re-bias every percentile in every summary and manifest.
+    #[test]
+    fn bucket_boundaries_are_pinned() {
+        let cases = [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ];
+        for (v, want) in cases {
+            assert_eq!(LogHistogram::bucket_of(v), want, "bucket_of({v})");
+        }
+        assert_eq!(LogHistogram::upper_bound(0), 0);
+        assert_eq!(LogHistogram::upper_bound(1), 1);
+        assert_eq!(LogHistogram::upper_bound(2), 3);
+        assert_eq!(LogHistogram::upper_bound(10), 1023);
+        assert_eq!(LogHistogram::upper_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 5, 100, 4096, 1 << 40, u64::MAX] {
+            let i = LogHistogram::bucket_of(v);
+            assert!(v <= LogHistogram::upper_bound(i));
+            if i > 0 {
+                assert!(v > LogHistogram::upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let mut h = LogHistogram::new();
+        // 90 small values (bucket of 1) and 10 large (bucket of 1000).
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 1);
+        assert_eq!(h.quantile(0.90), 1);
+        assert_eq!(h.quantile(0.95), 1023);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(LogHistogram::new().quantile(0.5), 0);
+    }
+
+    /// Satellite: property-style seeded loop — quantiles are monotone
+    /// (p50 ≤ p95 ≤ p99) and no observation is lost or double-counted.
+    #[test]
+    fn seeded_property_quantile_monotone_and_count_conserved() {
+        for seed in 0..32u64 {
+            let mut rng = RngStream::new(seed, "hist-property");
+            let mut h = LogHistogram::new();
+            let n = 1 + rng.index(5000);
+            for _ in 0..n {
+                // Heavy-tailed-ish spread across many buckets.
+                let v = rng.next_u64() >> rng.index(60);
+                h.record(v);
+            }
+            let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+            assert!(p50 <= p95, "seed {seed}: p50 {p50} > p95 {p95}");
+            assert!(p95 <= p99, "seed {seed}: p95 {p95} > p99 {p99}");
+            assert_eq!(h.count(), n as u64, "seed {seed}: count conservation");
+            let bucket_sum: u64 = h.nonzero().iter().map(|&(_, c)| c).sum();
+            assert_eq!(bucket_sum, n as u64, "seed {seed}: bucket sum");
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(4000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.nonzero(), vec![(3, 2), (4095, 1)]);
+    }
+
+    #[test]
+    fn depth_ring_window() {
+        let mut r = DepthRing::new();
+        assert!(r.is_empty());
+        assert_eq!(r.max(), 0);
+        for i in 0..100u64 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), DepthRing::CAP);
+        assert_eq!(r.max(), 99);
+        // Window holds 36..=99 (the last 64 pushes).
+        assert_eq!(r.mean(), (36..=99).sum::<u64>() as f64 / 64.0);
+    }
+}

@@ -18,11 +18,12 @@
 //! | `as-cast`        | fixed-point files             | bare `as` casts                           |
 //! | `float-cmp`      | fixed-point files             | `==` / `!=` involving floats              |
 //! | `panic`          | all library code              | `.unwrap()`, `.expect(`, `panic!(`        |
+//! | `print`          | all library code              | `println!`, `eprintln!`, `print!`, `eprint!` |
 //! | `missing-docs`   | all library code              | undocumented `pub` items                  |
 //! | `waiver`         | everywhere                    | waivers without a written justification   |
 //!
-//! *Sim-path crates*: `anu-core`, `anu-des`, `anu-cluster`, `anu-policies`
-//! — the crates whose behavior feeds simulation results. *Fixed-point
+//! *Sim-path crates*: `anu-core`, `anu-des`, `anu-cluster`, `anu-trace`,
+//! `anu-policies` — the crates whose behavior feeds simulation results. *Fixed-point
 //! files*: `interval.rs`, `shares.rs`, `partition.rs`, `placement.rs`.
 //! *Library code*: `src/` trees of all workspace crates, excluding binary
 //! entry points (`src/main.rs`, `src/bin/`), `tests/`, `benches/` and
@@ -61,6 +62,9 @@ pub enum Lint {
     FloatCmp,
     /// `.unwrap()` / `.expect(` / `panic!(` in library code.
     Panic,
+    /// `println!` / `eprintln!` / `print!` / `eprint!` in library code
+    /// (diagnostics belong in structured trace sinks, not on stdio).
+    Print,
     /// Undocumented `pub` item in library code.
     MissingDocs,
     /// Malformed waiver (missing justification).
@@ -68,13 +72,14 @@ pub enum Lint {
 }
 
 /// Every lint, in reporting order.
-pub const ALL_LINTS: [Lint; 8] = [
+pub const ALL_LINTS: [Lint; 9] = [
     Lint::WallClock,
     Lint::ThreadRng,
     Lint::HashIteration,
     Lint::AsCast,
     Lint::FloatCmp,
     Lint::Panic,
+    Lint::Print,
     Lint::MissingDocs,
     Lint::Waiver,
 ];
@@ -89,6 +94,7 @@ impl Lint {
             Lint::AsCast => "as-cast",
             Lint::FloatCmp => "float-cmp",
             Lint::Panic => "panic",
+            Lint::Print => "print",
             Lint::MissingDocs => "missing-docs",
             Lint::Waiver => "waiver",
         }
@@ -107,6 +113,9 @@ impl Lint {
             Lint::AsCast => "bare `as` casts in fixed-point files; use the checked helpers",
             Lint::FloatCmp => "float ==/!= in fixed-point files; compare exact fixed-point units",
             Lint::Panic => ".unwrap()/.expect()/panic!() in library code; return Result instead",
+            Lint::Print => {
+                "println!/eprintln! in library code; emit trace events or return the text"
+            }
             Lint::MissingDocs => "undocumented pub item in library code",
             Lint::Waiver => "anu-lint waiver without a written justification",
         }
@@ -289,7 +298,7 @@ fn json_str(s: &str) -> String {
 
 /// Crates whose code feeds simulation results and must therefore be
 /// deterministic (no wall clock, no entropy, no hash-order iteration).
-const SIM_PATH_CRATES: [&str; 4] = ["core", "des", "cluster", "policies"];
+const SIM_PATH_CRATES: [&str; 5] = ["core", "des", "cluster", "trace", "policies"];
 
 /// Files implementing the fixed-point interval arithmetic, where bare
 /// casts and float comparisons are forbidden.
@@ -504,6 +513,15 @@ fn scan_file(text: &str, ctx: &FileContext, report: &mut Report) {
                         lineno,
                         Lint::Panic,
                         format!("{what} in library code; return Result or restructure"),
+                    ));
+                }
+            }
+            for token in ["println!", "eprintln!", "print!", "eprint!"] {
+                if contains_word(code, token) {
+                    pending.push((
+                        lineno,
+                        Lint::Print,
+                        format!("`{token}` in library code; emit a trace event or return the text to the caller"),
                     ));
                 }
             }
@@ -1010,6 +1028,35 @@ mod tests {
         );
         assert_eq!(r.violations.len(), 3);
         assert!(r.violations.iter().all(|v| v.lint == Lint::Panic));
+    }
+
+    #[test]
+    fn print_macros_flagged_in_library() {
+        let c = ctx("crates/bench/src/lib.rs", "bench", true);
+        let r = run(
+            "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); eprint!(\"w\"); }\n",
+            &c,
+        );
+        assert_eq!(r.violations.len(), 4);
+        assert!(r.violations.iter().all(|v| v.lint == Lint::Print));
+    }
+
+    #[test]
+    fn print_allowed_in_binaries_tests_and_waived_lines() {
+        // Binary entry points may print: they are the user interface.
+        let bin = ctx("crates/harness/src/bin/figures.rs", "harness", false);
+        assert!(run("fn main() { println!(\"hi\"); }\n", &bin).clean());
+        // cfg(test) modules are out of scope.
+        let lib = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "#[cfg(test)]\nmod tests {\n fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(run(text, &lib).clean());
+        // A justified waiver suppresses the lint.
+        let waived = "/// d\npub fn f() {\n // anu-lint: allow(print) -- progress line, explicitly requested by the caller\n println!(\"{}\", 1);\n}\n";
+        let r = run(waived, &lib);
+        assert!(r.clean(), "{:?}", r.violations);
+        assert_eq!(r.waived, 1);
+        // `writeln!` to a caller-provided sink is not a print macro.
+        assert!(run("fn f(w: &mut String) { writeln!(w, \"x\").ok(); }\n", &lib).clean());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`des`] | `anu-des` | discrete-event simulation kernel (YACSIM substitute) |
 //! | [`workload`] | `anu-workload` | synthetic + DFSTrace-like workload generators |
 //! | [`cluster`] | `anu-cluster` | the simulated Storage Tank metadata cluster |
+//! | [`trace`] | `anu-trace` | deterministic structured tracing: typed events, sim-time spans, log-scaled histograms |
 //! | [`policies`] | `anu-policies` | simple randomization, round-robin, prescient LPT, ANU |
 //! | [`harness`] | `anu-harness` | experiments regenerating Figures 6–11 |
 //!
@@ -42,4 +43,5 @@ pub use anu_core as core;
 pub use anu_des as des;
 pub use anu_harness as harness;
 pub use anu_policies as policies;
+pub use anu_trace as trace;
 pub use anu_workload as workload;

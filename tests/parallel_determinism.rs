@@ -7,9 +7,10 @@
 //! enumeration time, outcomes are slotted by task id).
 
 use anu::harness::{
-    checks_for, figure, reduced, run_grid, write_figure_csvs_tagged, FIGURE_NUMBERS,
-    PLAIN_ANU_LABEL,
+    checks_for, figure, reduced, run_grid, run_grid_traced, write_figure_csvs_tagged,
+    write_tuner_epochs_csv, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
 };
+use anu::trace::TraceLevel;
 
 /// Same pinned seed as the reduced-scale shape suite.
 const SEED: u64 = 32;
@@ -87,6 +88,64 @@ fn serial_and_parallel_runs_are_byte_identical() {
     assert_eq!(
         verdicts[0], verdicts[1],
         "shape-check verdicts differ between jobs=1 and jobs=4"
+    );
+
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+/// The tracing extension of the same guarantee: request-level JSONL traces
+/// and the per-epoch tuner CSVs are byte-identical between a serial and a
+/// parallel sweep. Uses two reduced figures (the adaptive fig6 exercises
+/// the tuner telemetry; fig10 adds the heuristics-ablation policies).
+#[test]
+fn traces_and_tuner_csvs_are_byte_identical_across_jobs() {
+    let exps: Vec<_> = [6u32, 10]
+        .iter()
+        .map(|&n| reduced(figure(n, SEED).expect("evaluation figure"), SEED))
+        .collect();
+
+    let tmp = std::env::temp_dir().join("anu_trace_determinism");
+    std::fs::remove_dir_all(&tmp).ok();
+
+    let mut traces: Vec<Vec<Vec<String>>> = Vec::new();
+    let mut epoch_csvs: Vec<Vec<Vec<u8>>> = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = tmp.join(format!("jobs{jobs}"));
+        let outcomes = run_grid_traced(&exps, jobs, TraceLevel::Request);
+
+        let mut grouped: Vec<Vec<anu::cluster::RunResult>> = vec![Vec::new(); exps.len()];
+        for o in &outcomes {
+            grouped[o.task.experiment].push(o.result.clone());
+        }
+        let mut run_csvs = Vec::new();
+        for (exp, results) in exps.iter().zip(&grouped) {
+            let p = write_tuner_epochs_csv(&exp.name, None, results, &dir)
+                .expect("write tuner-epoch CSV");
+            run_csvs.push(std::fs::read(&p).expect("read back CSV"));
+        }
+        traces.push(outcomes.into_iter().map(|o| o.trace_lines).collect());
+        epoch_csvs.push(run_csvs);
+    }
+
+    assert_eq!(traces[0].len(), traces[1].len(), "same task count");
+    assert!(
+        traces[0].iter().all(|t| !t.is_empty()),
+        "request-level sweeps record events for every task"
+    );
+    for (i, (a, b)) in traces[0].iter().zip(&traces[1]).enumerate() {
+        assert_eq!(a, b, "task {i} trace differs between jobs=1 and jobs=4");
+    }
+    assert_eq!(
+        epoch_csvs[0], epoch_csvs[1],
+        "tuner-epoch CSVs differ between jobs=1 and jobs=4"
+    );
+    // The adaptive figures actually exercised the tuner (rows beyond the
+    // header).
+    assert!(
+        epoch_csvs[0]
+            .iter()
+            .any(|b| b.iter().filter(|&&c| c == b'\n').count() > 1),
+        "at least one figure produced tuner decision rows"
     );
 
     std::fs::remove_dir_all(&tmp).ok();
