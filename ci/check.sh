@@ -65,6 +65,12 @@ if [[ "$QUICK" == 1 ]]; then
     step "tier-1: cargo test (debug, --quick)"
     cargo test -q
 
+    step "chaos smoke: fifty seeded fault storms through the world"
+    # Named separately so a chaos regression is visible as its own step:
+    # fault scripts validate, the invariant auditor stays silent, no
+    # request is lost, tuning resumes after delegate crashes.
+    cargo test -q --test chaos_storms
+
     summary
     printf '\n==> quick checks passed (release build and figures gate skipped)\n'
     exit 0
@@ -76,21 +82,25 @@ cargo build --release
 step "tier-1: cargo test"
 cargo test -q
 
-step "figures + trace determinism gate (--jobs \$(nproc) vs --jobs 1)"
+step "figures + chaos + trace determinism gate (--jobs \$(nproc) vs --jobs 1)"
 JOBS="$(nproc)"
 SERIAL_DIR="$(mktemp -d)"
 trap 'rm -rf "$SERIAL_DIR"' EXIT
 # Parallel run writes the canonical out/ CSVs (series + tuner epochs), the
-# epoch-level JSONL traces under out/trace/, and the bench manifest, and
-# enforces every figure's shape checks (non-zero exit on any FAIL)...
-./target/release/figures --jobs "$JOBS" --out out --bench-out BENCH_figures.json \
+# chaos sweep (fault-injected grid, chaos_* series + chaos_summary.csv),
+# the epoch-level JSONL traces under out/trace/, and the bench manifest,
+# and enforces every figure's and chaos cell's checks (non-zero exit on
+# any FAIL)...
+./target/release/figures --jobs "$JOBS" --chaos --out out \
+    --bench-out BENCH_figures.json \
     --trace-out out/trace --trace-level epoch
-# ...then a serial re-run must reproduce the same bytes, traces included.
-./target/release/figures --jobs 1 --out "$SERIAL_DIR/out" \
+# ...then a serial re-run must reproduce the same bytes, chaos outputs and
+# traces included.
+./target/release/figures --jobs 1 --chaos --out "$SERIAL_DIR/out" \
     --bench-out "$SERIAL_DIR/BENCH_figures.json" \
     --trace-out "$SERIAL_DIR/out/trace" --trace-level epoch >/dev/null
 diff -r out "$SERIAL_DIR/out"
-echo "out/ (series, tuner epochs, JSONL traces) is byte-identical at --jobs $JOBS and --jobs 1"
+echo "out/ (series, tuner epochs, chaos CSVs, JSONL traces) is byte-identical at --jobs $JOBS and --jobs 1"
 
 summary
 printf '\n==> all checks passed\n'

@@ -15,6 +15,7 @@ fn reports(n: u32) -> Vec<LoadReport> {
             // A deterministic spread of latencies around 100 ms.
             mean_latency_ms: 40.0 + (f64::from(i) * 37.0) % 160.0,
             requests: 100 + (u64::from(i) * 13) % 50,
+            age_ticks: 0,
         })
         .collect()
 }
@@ -65,6 +66,7 @@ fn bench_tune_cycle() {
                         90.0
                     },
                     requests: 100,
+                    age_ticks: 0,
                 })
                 .collect();
             if let Some(plan) = tuner.plan(&map.share_fractions(), &rs) {

@@ -296,6 +296,7 @@ pub fn run_closed_loop_traced(
                             server: s,
                             mean_latency_ms: mean_ms,
                             requests: count,
+                            age_ticks: 0,
                         }
                     })
                     .collect();

@@ -10,8 +10,10 @@
 //! * [`world`] — the deterministic event loop: request routing, FIFO
 //!   service, file-set migration with request buffering, failure draining
 //!   and failover;
+//! * [`faults`] — deterministic chaos: compiles MTTF/MTTR-style fault
+//!   environments into concrete, pre-validated fault scripts;
 //! * [`metrics`] — per-server latency time series and run summaries
-//!   (imbalance CoV, oscillation score, …).
+//!   (imbalance CoV, oscillation score, availability, …).
 //!
 //! The concrete policies (simple randomization, round-robin, prescient,
 //! ANU) live in `anu-policies`; this crate only defines the contract so
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod closed_loop;
+pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod spec;
@@ -29,6 +32,7 @@ pub mod world;
 pub use closed_loop::{
     run_closed_loop, run_closed_loop_traced, ClosedLoopConfig, ClosedLoopResult,
 };
+pub use faults::{plan_faults, FaultPlanConfig};
 pub use metrics::{
     flip_count, late_imbalance, late_mean, oscillation_score, series_points, EpochRecord,
     RunResult, RunSummary,

@@ -87,6 +87,31 @@ pub struct RunSummary {
     pub divergent_freezes: u64,
     /// Tuner moves bounded by the `max_factor` clamp.
     pub factor_clamps: u64,
+    /// Server downtime in seconds, summed across servers. A window opens
+    /// at a `Fail` fault and closes at the matching recovery (or the end
+    /// of the run).
+    pub unavailable_secs: f64,
+    /// Downtime windows opened (= `Fail` faults fired).
+    pub unavailability_windows: u64,
+    /// Mean seconds from a server failure until every file set it owned
+    /// re-homed on a live server (0 when no failures fired).
+    pub mean_rebalance_secs: f64,
+    /// Worst single failure's re-home time, in seconds.
+    pub max_rebalance_secs: f64,
+    /// Requests drained from failed servers and requeued on the orphans'
+    /// new owners (or buffered into an in-flight migration) — work
+    /// displaced, not lost.
+    pub requests_requeued: u64,
+    /// Time-integral of lost serving capacity, in server-seconds: a dead
+    /// server accrues 1 per second, a server slowed by factor `f` accrues
+    /// `1 - 1/f` per second.
+    pub degraded_capacity_secs: f64,
+    /// Invariant-auditor boundary checks executed. Non-zero only for
+    /// chaos runs (the auditor arms when the fault script is non-empty).
+    pub audit_checks: u64,
+    /// Invariant violations the auditor detected (a correct system holds
+    /// this at zero under any fault storm).
+    pub audit_violations: u64,
 }
 
 /// Build the late-half imbalance CoV from the per-server series.

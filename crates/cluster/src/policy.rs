@@ -92,6 +92,21 @@ pub trait PlacementPolicy {
     fn take_epoch(&mut self) -> Option<anu_core::TuneEpoch> {
         None
     }
+
+    /// The tuning delegate died (fault injection). A deterministic
+    /// re-election pauses tuning for `pause_ticks` tuning intervals; the
+    /// new delegate then resumes from the last applied shares. Policies
+    /// without a delegate (the static baselines) ignore it, the default.
+    fn on_delegate_fail(&mut self, _pause_ticks: u32) {}
+
+    /// Audit policy-internal placement invariants at a fault/tick
+    /// boundary. `in_flight` lists file sets currently migrating, whose
+    /// `assignment` entry may legitimately lag the policy's target. Return
+    /// one message per violation; policies without internal placement
+    /// state report none, the default.
+    fn audit(&self, _assignment: &Assignment, _in_flight: &[FileSetId]) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

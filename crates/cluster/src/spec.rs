@@ -87,6 +87,12 @@ impl ColdCacheConfig {
 }
 
 /// A scheduled fault-injection event.
+///
+/// Events fire in `(time, list index)` order — ties at the same instant
+/// are applied in the order they appear in [`ClusterConfig::faults`], which
+/// is exactly the order the calendar delivers them, so
+/// [`ClusterConfig::validate_faults`] can check a script against the same
+/// timeline the run will see.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum FaultEvent {
     /// Server fails (crash) at the given time.
@@ -103,13 +109,72 @@ pub enum FaultEvent {
         /// Which server.
         server: ServerId,
     },
+    /// Server limps: its effective speed is divided by `factor` for the
+    /// next `lasts` of simulated time, then restores. A limping server
+    /// keeps serving (slowly) — the failure mode crash-only fault models
+    /// miss, and the one that most stresses latency-driven tuning.
+    Slowdown {
+        /// When the slowdown starts.
+        at: SimTime,
+        /// Which server.
+        server: ServerId,
+        /// Speed divisor (≥ 1; 4.0 means a quarter-speed server).
+        factor: f64,
+        /// How long the slowdown lasts.
+        lasts: SimDuration,
+    },
+    /// The server's next latency report never reaches the delegate (the
+    /// first tick at or after `at`). The server keeps serving; the delegate
+    /// must tune around the hole instead of mistaking silence for idleness.
+    ReportLoss {
+        /// When the loss arms.
+        at: SimTime,
+        /// Which server's report is dropped.
+        server: ServerId,
+    },
+    /// The server's next latency report arrives one tick late (delivered
+    /// at the following tick with `age_ticks = 1`).
+    ReportDelay {
+        /// When the delay arms.
+        at: SimTime,
+        /// Which server's report is delayed.
+        server: ServerId,
+    },
+    /// The tuning delegate dies. A deterministic re-election pauses tuning
+    /// for `pause_ticks` tuning intervals; the new delegate then resumes
+    /// from the last applied shares (the base algorithm is stateless, so
+    /// only cross-interval heuristic state is lost).
+    DelegateFail {
+        /// When the delegate dies.
+        at: SimTime,
+        /// Tuning intervals the re-election outage lasts.
+        pause_ticks: u32,
+    },
 }
 
 impl FaultEvent {
     /// The event's time.
     pub fn at(&self) -> SimTime {
         match *self {
-            FaultEvent::Fail { at, .. } | FaultEvent::Recover { at, .. } => at,
+            FaultEvent::Fail { at, .. }
+            | FaultEvent::Recover { at, .. }
+            | FaultEvent::Slowdown { at, .. }
+            | FaultEvent::ReportLoss { at, .. }
+            | FaultEvent::ReportDelay { at, .. }
+            | FaultEvent::DelegateFail { at, .. } => at,
+        }
+    }
+
+    /// The server the event targets, if it targets one (`DelegateFail`
+    /// targets the delegate role, not a simulated server).
+    pub fn server(&self) -> Option<ServerId> {
+        match *self {
+            FaultEvent::Fail { server, .. }
+            | FaultEvent::Recover { server, .. }
+            | FaultEvent::Slowdown { server, .. }
+            | FaultEvent::ReportLoss { server, .. }
+            | FaultEvent::ReportDelay { server, .. } => Some(server),
+            FaultEvent::DelegateFail { .. } => None,
         }
     }
 }
@@ -206,6 +271,86 @@ impl ClusterConfig {
         }
         Ok(())
     }
+
+    /// Validate the fault script against the alive-set timeline it would
+    /// produce, *before* the run starts.
+    ///
+    /// Replays the events in the exact order the calendar will deliver them
+    /// (time, then list position for ties) and rejects, with a structured
+    /// [`AnuError::BadFaultScript`] naming the offending event:
+    ///
+    /// * any event targeting a server id not in the cluster,
+    /// * failing a server that is already down (double fail),
+    /// * recovering a server that is already up,
+    /// * failing the last live server (the cluster would lose all data
+    ///   paths and no placement could be valid),
+    /// * a `Slowdown` with a non-finite or `< 1` factor or zero duration,
+    /// * a `Slowdown`/`ReportLoss`/`ReportDelay` targeting a server that is
+    ///   down at that instant (a dead server neither serves nor reports).
+    pub fn validate_faults(&self) -> anu_core::Result<()> {
+        use anu_core::AnuError;
+        let bad = |index: usize, reason: String| AnuError::BadFaultScript { index, reason };
+
+        let ids = self.server_ids();
+        let mut alive: Vec<bool> = vec![true; ids.len()];
+        let slot = |server: ServerId| ids.iter().position(|&s| s == server);
+
+        // Calendar delivery order: time, then schedule (= list) order.
+        let mut order: Vec<usize> = (0..self.faults.len()).collect();
+        order.sort_by_key(|&i| (self.faults[i].at(), i));
+
+        for i in order {
+            let f = &self.faults[i];
+            let s = match f.server() {
+                Some(server) => {
+                    let Some(slot) = slot(server) else {
+                        return Err(bad(i, format!("unknown server {server}")));
+                    };
+                    Some((server, slot))
+                }
+                None => None,
+            };
+            match (*f, s) {
+                (FaultEvent::Fail { .. }, Some((server, slot))) => {
+                    if !alive[slot] {
+                        return Err(bad(i, format!("double failure of {server}")));
+                    }
+                    if alive.iter().filter(|&&a| a).count() == 1 {
+                        return Err(bad(i, format!("failing {server} leaves no live server")));
+                    }
+                    alive[slot] = false;
+                }
+                (FaultEvent::Recover { .. }, Some((server, slot))) => {
+                    if alive[slot] {
+                        return Err(bad(i, format!("recovery of alive {server}")));
+                    }
+                    alive[slot] = true;
+                }
+                (FaultEvent::Slowdown { factor, lasts, .. }, Some((server, slot))) => {
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(bad(i, format!("slowdown factor {factor} must be >= 1")));
+                    }
+                    if lasts.0 == 0 {
+                        return Err(bad(i, "zero-duration slowdown".to_string()));
+                    }
+                    if !alive[slot] {
+                        return Err(bad(i, format!("slowdown of failed {server}")));
+                    }
+                }
+                (
+                    FaultEvent::ReportLoss { .. } | FaultEvent::ReportDelay { .. },
+                    Some((server, slot)),
+                ) if !alive[slot] => {
+                    return Err(bad(i, format!("report fault on failed {server}")));
+                }
+                (FaultEvent::DelegateFail { .. }, _) => {}
+                // `server()` returns Some for every server-targeting kind,
+                // so the remaining combinations cannot occur.
+                _ => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -278,5 +423,204 @@ mod tests {
             server: ServerId(1),
         };
         assert_eq!(f.at(), SimTime::from_secs_f64(10.0));
+        let d = FaultEvent::DelegateFail {
+            at: SimTime::from_secs_f64(20.0),
+            pause_ticks: 2,
+        };
+        assert_eq!(d.at(), SimTime::from_secs_f64(20.0));
+        assert_eq!(d.server(), None);
+        assert_eq!(f.server(), Some(ServerId(1)));
+    }
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn reason_of(err: anu_core::AnuError) -> (usize, String) {
+        match err {
+            anu_core::AnuError::BadFaultScript { index, reason } => (index, reason),
+            other => panic!("expected BadFaultScript, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_faults_accepts_sane_scripts() {
+        let mut c = ClusterConfig::paper();
+        c.faults = vec![
+            FaultEvent::Slowdown {
+                at: at(5.0),
+                server: ServerId(4),
+                factor: 4.0,
+                lasts: SimDuration::from_secs(60),
+            },
+            FaultEvent::Fail {
+                at: at(10.0),
+                server: ServerId(1),
+            },
+            FaultEvent::ReportLoss {
+                at: at(15.0),
+                server: ServerId(2),
+            },
+            FaultEvent::DelegateFail {
+                at: at(20.0),
+                pause_ticks: 1,
+            },
+            FaultEvent::Recover {
+                at: at(30.0),
+                server: ServerId(1),
+            },
+            // Re-fail after recovery is fine.
+            FaultEvent::Fail {
+                at: at(40.0),
+                server: ServerId(1),
+            },
+        ];
+        assert!(c.validate_faults().is_ok());
+    }
+
+    #[test]
+    fn validate_faults_rejects_unknown_server() {
+        let mut c = ClusterConfig::paper();
+        c.faults = vec![FaultEvent::Fail {
+            at: at(1.0),
+            server: ServerId(99),
+        }];
+        let (index, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert_eq!(index, 0);
+        assert!(reason.contains("unknown server"), "{reason}");
+    }
+
+    #[test]
+    fn validate_faults_rejects_double_fail_and_alive_recover() {
+        let mut c = ClusterConfig::paper();
+        c.faults = vec![
+            FaultEvent::Fail {
+                at: at(1.0),
+                server: ServerId(1),
+            },
+            FaultEvent::Fail {
+                at: at(2.0),
+                server: ServerId(1),
+            },
+        ];
+        let (index, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert_eq!(index, 1);
+        assert!(reason.contains("double failure"), "{reason}");
+
+        c.faults = vec![FaultEvent::Recover {
+            at: at(1.0),
+            server: ServerId(1),
+        }];
+        let (_, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert!(reason.contains("recovery of alive"), "{reason}");
+    }
+
+    #[test]
+    fn validate_faults_rejects_killing_the_last_server() {
+        let mut c = ClusterConfig::homogeneous(2);
+        c.faults = vec![
+            FaultEvent::Fail {
+                at: at(1.0),
+                server: ServerId(0),
+            },
+            FaultEvent::Fail {
+                at: at(2.0),
+                server: ServerId(1),
+            },
+        ];
+        let (index, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert_eq!(index, 1);
+        assert!(reason.contains("no live server"), "{reason}");
+        // A recovery in between makes the same final fail legal.
+        c.faults.insert(
+            1,
+            FaultEvent::Recover {
+                at: at(1.5),
+                server: ServerId(0),
+            },
+        );
+        assert!(c.validate_faults().is_ok());
+    }
+
+    #[test]
+    fn validate_faults_rejects_faults_on_dead_servers_and_bad_slowdowns() {
+        let mut c = ClusterConfig::paper();
+        let dead = FaultEvent::Fail {
+            at: at(1.0),
+            server: ServerId(1),
+        };
+        c.faults = vec![
+            dead,
+            FaultEvent::ReportLoss {
+                at: at(2.0),
+                server: ServerId(1),
+            },
+        ];
+        let (_, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert!(reason.contains("report fault on failed"), "{reason}");
+
+        c.faults = vec![
+            dead,
+            FaultEvent::Slowdown {
+                at: at(2.0),
+                server: ServerId(1),
+                factor: 2.0,
+                lasts: SimDuration::from_secs(10),
+            },
+        ];
+        let (_, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert!(reason.contains("slowdown of failed"), "{reason}");
+
+        c.faults = vec![FaultEvent::Slowdown {
+            at: at(2.0),
+            server: ServerId(1),
+            factor: 0.5,
+            lasts: SimDuration::from_secs(10),
+        }];
+        let (_, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert!(reason.contains("must be >= 1"), "{reason}");
+
+        c.faults = vec![FaultEvent::Slowdown {
+            at: at(2.0),
+            server: ServerId(1),
+            factor: 2.0,
+            lasts: SimDuration::ZERO,
+        }];
+        let (_, reason) = reason_of(c.validate_faults().unwrap_err());
+        assert!(reason.contains("zero-duration"), "{reason}");
+    }
+
+    #[test]
+    fn validate_faults_replays_ties_in_list_order() {
+        // Two events at the same instant: the calendar fires them in list
+        // order, so (Recover, Fail) at t=2 on a down server is legal while
+        // the reversed list is a double fail.
+        let mut c = ClusterConfig::paper();
+        let fail = |server| FaultEvent::Fail {
+            at: at(2.0),
+            server,
+        };
+        let recover = |server| FaultEvent::Recover {
+            at: at(2.0),
+            server,
+        };
+        c.faults = vec![
+            FaultEvent::Fail {
+                at: at(1.0),
+                server: ServerId(1),
+            },
+            recover(ServerId(1)),
+            fail(ServerId(1)),
+        ];
+        assert!(c.validate_faults().is_ok());
+        c.faults = vec![
+            FaultEvent::Fail {
+                at: at(1.0),
+                server: ServerId(1),
+            },
+            fail(ServerId(1)),
+            recover(ServerId(1)),
+        ];
+        assert!(c.validate_faults().is_err());
     }
 }

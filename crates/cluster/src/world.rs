@@ -33,6 +33,8 @@ enum Event {
     MigrationDone(FileSetId),
     /// The `i`-th configured fault fires.
     Fault(u32),
+    /// A limping server's slowdown lifts.
+    SlowdownEnd(ServerId),
 }
 
 /// Job metadata: which set the request targets, and the raw (speed-1)
@@ -58,6 +60,36 @@ struct ServerState {
     /// that drains the station can cancel it (otherwise the stale event
     /// would fire against an idle — or worse, re-busy — station).
     completion: Option<anu_des::EventHandle>,
+    /// Service-time inflation while the server limps (1.0 = healthy).
+    /// Applies to newly enqueued jobs only; in-service work keeps its
+    /// already-drawn service time.
+    slow_factor: f64,
+    /// Pending [`Event::SlowdownEnd`], so a newer slowdown (or a failure)
+    /// can cancel it.
+    slow_end: Option<anu_des::EventHandle>,
+    /// The next latency report is dropped in transit.
+    lose_report: bool,
+    /// The next latency report is held one tick and delivered stale.
+    delay_report: bool,
+    /// A report held by `delay_report`, delivered at the next tick with
+    /// `age_ticks = 1`.
+    held_report: Option<LoadReport>,
+    /// When the server went down; closes at recovery or end of run.
+    down_since: Option<SimTime>,
+    /// Current serving-capacity fraction: 0 while dead, `1/slow_factor`
+    /// while limping, 1 otherwise. Piecewise constant between transitions.
+    cap_frac: f64,
+    /// When `cap_frac` last changed — the integration mark for
+    /// degraded-capacity accounting.
+    cap_since: SimTime,
+}
+
+/// Tracks how long one failure's orphaned file sets took to re-home.
+struct RebalanceClock {
+    /// When the failure fired.
+    start: SimTime,
+    /// Orphaned sets still in flight.
+    outstanding: usize,
 }
 
 struct Migration {
@@ -96,6 +128,33 @@ struct World<'a> {
     factor_clamps: u64,
     /// Requests that completed after the nominal horizon (stragglers).
     post_horizon_completions: u64,
+    /// Requests admitted so far (enqueued or buffered) — the conservation
+    /// denominator the auditor checks against.
+    arrived: u64,
+    /// Requests drained from failed servers and requeued elsewhere.
+    requests_requeued: u64,
+    /// Time-integral of lost serving capacity, in server-seconds.
+    degraded_capacity_secs: f64,
+    /// Closed downtime, in seconds, summed across servers.
+    unavailable_secs: f64,
+    /// Downtime windows opened.
+    unavailability_windows: u64,
+    /// One clock per failure that orphaned at least one set.
+    rebalance_clocks: Vec<RebalanceClock>,
+    /// Completed failure→fully-re-homed durations, in seconds.
+    rebalance_secs: Vec<f64>,
+    /// In-flight orphaned set → index of the clock it closes.
+    orphan_fault: BTreeMap<FileSetId, usize>,
+    /// Every file set the workload touches — the coverage universe the
+    /// auditor checks.
+    file_sets: Vec<FileSetId>,
+    /// The invariant auditor arms only for chaos runs (non-empty fault
+    /// script), so fault-free runs pay nothing at tick boundaries.
+    auditing: bool,
+    /// Auditor boundary checks executed.
+    audit_checks: u64,
+    /// Invariant violations detected.
+    audit_violations: u64,
 }
 
 impl<'a> World<'a> {
@@ -114,7 +173,8 @@ impl<'a> World<'a> {
         let served = *st.warmth.get(&set).unwrap_or(&0);
         let factor = self.cfg.cold_cache.factor(served);
         *st.warmth.entry(set).or_insert(0) += 1;
-        let service = SimDuration::from_secs_f64(cost.as_secs_f64() / st.speed * factor);
+        let service =
+            SimDuration::from_secs_f64(cost.as_secs_f64() / st.speed * factor * st.slow_factor);
         let job = Job {
             arrival,
             service,
@@ -160,6 +220,7 @@ impl<'a> World<'a> {
             let next = &self.workload.requests[idx as usize + 1];
             self.cal.schedule(next.arrival, Event::Arrival(idx + 1));
         }
+        self.arrived += 1;
         let req = self.workload.requests[idx as usize];
         if let Some(m) = self.migrations.get_mut(&req.file_set) {
             m.buffered.push((req.arrival, req.cost));
@@ -247,19 +308,65 @@ impl<'a> World<'a> {
         };
     }
 
+    /// Update `server`'s capacity fraction, integrating the lost capacity
+    /// accrued at the old fraction since the last transition.
+    fn set_capacity(&mut self, server: ServerId, now: SimTime, frac: f64) {
+        // anu-lint: allow(panic) -- capacity transitions target servers registered at setup
+        let st = self.servers.get_mut(&server).expect("known server");
+        self.degraded_capacity_secs += (1.0 - st.cap_frac) * now.since(st.cap_since).as_secs_f64();
+        st.cap_frac = frac;
+        st.cap_since = now;
+    }
+
     fn collect_reports(&mut self) -> Vec<LoadReport> {
-        self.servers
-            .iter_mut()
-            .filter(|(_, st)| st.alive)
-            .map(|(&s, st)| {
-                let (mean_ms, count) = st.interval.take();
-                LoadReport {
-                    server: s,
-                    mean_latency_ms: mean_ms,
-                    requests: count,
-                }
-            })
-            .collect()
+        let mut reports = Vec::new();
+        for (&s, st) in self.servers.iter_mut() {
+            if !st.alive {
+                // A dead server transmits nothing; pending report faults
+                // are moot once the server itself is down.
+                st.held_report = None;
+                st.lose_report = false;
+                st.delay_report = false;
+                continue;
+            }
+            // A report held last tick arrives one tick stale, alongside
+            // the fresh one; the tuner keeps the freshest per server.
+            if let Some(mut held) = st.held_report.take() {
+                held.age_ticks = 1;
+                reports.push(held);
+            }
+            let (mean_ms, count) = st.interval.take();
+            let fresh = LoadReport {
+                server: s,
+                mean_latency_ms: mean_ms,
+                requests: count,
+                age_ticks: 0,
+            };
+            if st.lose_report {
+                st.lose_report = false;
+            } else if st.delay_report {
+                st.delay_report = false;
+                st.held_report = Some(fresh);
+            } else {
+                reports.push(fresh);
+            }
+        }
+        reports
+    }
+
+    /// The placement the policy should plan against: settled sets at
+    /// their owner, in-flight sets at their current *destination*. The
+    /// routing assignment keeps the old owner while a set is mid-flush,
+    /// and planning against that hides a destination the map no longer
+    /// agrees with — the diff sees owner == target, issues nothing, and
+    /// the set lands misplaced until the next planned epoch (the
+    /// invariant auditor flags exactly that).
+    fn planning_assignment(&self) -> Assignment {
+        let mut a = self.assignment.clone();
+        for (&set, m) in &self.migrations {
+            a.insert(set, m.to);
+        }
+        a
     }
 
     fn apply_moves(&mut self, moves: Vec<MoveSet>, delay: SimDuration, policy_name: &str) {
@@ -272,13 +379,13 @@ impl<'a> World<'a> {
                 mv.to
             );
             if let Some(m) = self.migrations.get_mut(&mv.set) {
-                // Already in flight. Retargeting is only meaningful when
-                // the old destination died; otherwise let it land and be
-                // reconsidered next tick.
-                let dest_dead = !self.servers[&m.to].alive;
-                if dest_dead {
-                    m.to = mv.to;
-                }
+                // Already in flight: honor the newest placement. A
+                // failure or recovery can re-partition the map while a
+                // set is mid-flush, and letting it land at the stale
+                // destination would leave it misplaced until the next
+                // planned epoch (the invariant auditor flags exactly
+                // that).
+                m.to = mv.to;
                 continue;
             }
             if self.assignment.get(&mv.set) == Some(&mv.to) {
@@ -340,12 +447,18 @@ impl<'a> World<'a> {
         // anu-lint: allow(panic) -- MigrationDone is scheduled only when the entry is inserted
         let m = self.migrations.remove(&set).expect("migration exists");
         // If the destination died while the set was in flight and no
-        // retarget arrived, home it on the lowest-id alive server; the
-        // policy rebalances at the next tick.
+        // retarget arrived, fall back to the releasing owner (still the
+        // policy's placement for the set — its diff saw the set as
+        // already home, so inventing any other owner would contradict
+        // the policy's map), then to the lowest-id alive server.
         let to = if self.servers[&m.to].alive {
             m.to
         } else {
-            self.view().alive()[0]
+            self.assignment
+                .get(&set)
+                .copied()
+                .filter(|s| self.servers[s].alive)
+                .unwrap_or_else(|| self.view().alive()[0])
         };
         self.assignment.insert(set, to);
         // Acquiring server starts with a cold cache.
@@ -366,6 +479,75 @@ impl<'a> World<'a> {
         );
         for (arrival, cost) in m.buffered {
             self.enqueue(to, arrival, set, cost);
+        }
+        // If this set was orphaned by a failure, its landing may close
+        // that failure's rebalance clock.
+        if let Some(idx) = self.orphan_fault.remove(&set) {
+            let c = &mut self.rebalance_clocks[idx];
+            c.outstanding -= 1;
+            if c.outstanding == 0 {
+                self.rebalance_secs
+                    .push(self.cal.now().since(c.start).as_secs_f64());
+            }
+        }
+    }
+
+    /// The invariant auditor: runs at every tick and fault boundary of a
+    /// chaos run (no-op otherwise). Checks request conservation, that no
+    /// file set is assigned to a dead server, that every file set is
+    /// either assigned or in flight, and the policy's own placement
+    /// invariants. Violations are counted and surfaced as `invariant`
+    /// trace warnings instead of panicking mid-run.
+    fn audit(&mut self, policy: &dyn PlacementPolicy) {
+        if !self.auditing {
+            return;
+        }
+        self.audit_checks += 1;
+        let mut violations: Vec<String> = Vec::new();
+        let completed: u64 = self.servers.values().map(|st| st.completed).sum();
+        let queued: u64 = self
+            .servers
+            .values()
+            .map(|st| st.station.population() as u64)
+            .sum();
+        let buffered: u64 = self
+            .migrations
+            .values()
+            .map(|m| m.buffered.len() as u64)
+            .sum();
+        if completed + queued + buffered != self.arrived {
+            violations.push(format!(
+                "conservation: completed {completed} + queued {queued} + \
+                 buffered {buffered} != admitted {}",
+                self.arrived
+            ));
+        }
+        for (fs, s) in &self.assignment {
+            if !self.servers[s].alive {
+                violations.push(format!("{fs} assigned to dead {s}"));
+            }
+        }
+        for fs in &self.file_sets {
+            if !self.assignment.contains_key(fs) && !self.migrations.contains_key(fs) {
+                violations.push(format!("{fs} neither assigned nor migrating"));
+            }
+        }
+        let in_flight: Vec<FileSetId> = self.migrations.keys().copied().collect();
+        violations.extend(policy.audit(&self.assignment, &in_flight));
+        if !violations.is_empty() {
+            self.audit_violations += violations.len() as u64;
+            let now = self.cal.now();
+            for v in violations {
+                self.tracer.emit(
+                    TraceLevel::Epoch,
+                    now,
+                    &TraceEvent::Warning {
+                        code: "invariant",
+                        detail: v,
+                        count: 1,
+                    },
+                );
+            }
         }
     }
 }
@@ -401,6 +583,11 @@ pub fn run_traced(
 ) -> RunResult {
     // anu-lint: allow(panic) -- entry precondition: results on an invalid config are meaningless
     cfg.validate().expect("invalid cluster config");
+    // Fault scripts are validated up front, replaying the whole schedule
+    // against the server set, so mid-run fault handling never has to
+    // panic on a contradictory script.
+    // anu-lint: allow(panic) -- entry precondition: a contradictory fault script has no meaningful result
+    cfg.validate_faults().expect("invalid fault script");
     let horizon = SimTime::ZERO + workload.duration();
     let series_len = workload.duration() + cfg.series_bucket;
 
@@ -424,6 +611,14 @@ pub fn run_traced(
                         completed: 0,
                         warmth: BTreeMap::new(),
                         completion: None,
+                        slow_factor: 1.0,
+                        slow_end: None,
+                        lose_report: false,
+                        delay_report: false,
+                        held_report: None,
+                        down_since: None,
+                        cap_frac: 1.0,
+                        cap_since: SimTime::ZERO,
                     },
                 )
             })
@@ -442,6 +637,18 @@ pub fn run_traced(
         divergent_freezes: 0,
         factor_clamps: 0,
         post_horizon_completions: 0,
+        arrived: 0,
+        requests_requeued: 0,
+        degraded_capacity_secs: 0.0,
+        unavailable_secs: 0.0,
+        unavailability_windows: 0,
+        rebalance_clocks: Vec::new(),
+        rebalance_secs: Vec::new(),
+        orphan_fault: BTreeMap::new(),
+        file_sets: Vec::new(),
+        auditing: !cfg.faults.is_empty(),
+        audit_checks: 0,
+        audit_violations: 0,
     };
 
     // Initial placement: every file set must land on an alive server.
@@ -465,6 +672,7 @@ pub fn run_traced(
             .warmth
             .insert(*fs, cfg.cold_cache.warm_after);
     }
+    world.file_sets = file_sets.clone();
 
     // Seed events: first arrival, first tick, faults.
     if !workload.requests.is_empty() {
@@ -493,7 +701,7 @@ pub fn run_traced(
                     .emit(TraceLevel::Epoch, now, &TraceEvent::EpochBegin { epoch });
                 let reports = world.collect_reports();
                 let view = world.view();
-                let moves = policy.on_tick(&view, &reports, &world.assignment);
+                let moves = policy.on_tick(&view, &reports, &world.planning_assignment());
                 let move_count = moves.len() as u64;
                 let tune = policy.take_epoch();
                 if let Some(t) = &tune {
@@ -536,6 +744,7 @@ pub fn run_traced(
                         },
                     );
                 }
+                world.audit(&*policy);
                 world.tracer.close(now, span);
                 world.epochs.push(EpochRecord {
                     index: epoch,
@@ -548,78 +757,181 @@ pub fn run_traced(
                     world.cal.schedule(next, Event::Tick);
                 }
             }
-            Event::Fault(i) => match cfg.faults[i as usize] {
-                FaultEvent::Fail { server, .. } => {
-                    // anu-lint: allow(panic) -- fault scripts are validated against the server set
-                    let st = world.servers.get_mut(&server).expect("known server");
-                    assert!(st.alive, "double failure of {server}");
-                    st.alive = false;
-                    let drained = st.station.drain(now);
-                    st.warmth.clear();
-                    // The in-service job (if any) died with the server: its
-                    // completion event must not fire.
-                    if let Some(h) = st.completion.take() {
-                        world.cal.cancel(h);
-                    }
-                    world.tracer.emit(
-                        TraceLevel::Epoch,
-                        now,
-                        &TraceEvent::Fault {
-                            server: server.0,
-                            drained: drained.len() as u64,
-                        },
-                    );
-                    let view = world.view();
-                    let moves = policy.on_fail(&view, server, &world.assignment);
-                    world.apply_moves(moves, cfg.failover_delay, policy.name());
-                    // Every orphaned set must now be in flight; queued work
-                    // follows its set to the new owner.
-                    let orphans: Vec<FileSetId> = world
-                        .assignment
-                        .iter()
-                        .filter(|&(_, &s)| s == server)
-                        .map(|(&fs, _)| fs)
-                        .collect();
-                    for fs in orphans {
-                        assert!(
-                            world.migrations.contains_key(&fs),
-                            "{} left orphan {fs} on failed {server}",
-                            policy.name()
+            Event::SlowdownEnd(server) => {
+                // anu-lint: allow(panic) -- slowdown-end events carry ids of registered servers
+                let st = world.servers.get_mut(&server).expect("known server");
+                st.slow_factor = 1.0;
+                st.slow_end = None;
+                world.set_capacity(server, now, 1.0);
+            }
+            Event::Fault(i) => {
+                match cfg.faults[i as usize] {
+                    FaultEvent::Fail { server, .. } => {
+                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
+                        let st = world.servers.get_mut(&server).expect("known server");
+                        debug_assert!(st.alive, "double failure of {server}");
+                        st.alive = false;
+                        let drained = st.station.drain(now);
+                        st.warmth.clear();
+                        // The in-service job (if any) died with the server:
+                        // its completion event must not fire. Likewise any
+                        // pending slowdown end — the failure supersedes it.
+                        if let Some(h) = st.completion.take() {
+                            world.cal.cancel(h);
+                        }
+                        if let Some(h) = st.slow_end.take() {
+                            world.cal.cancel(h);
+                        }
+                        st.slow_factor = 1.0;
+                        st.down_since = Some(now);
+                        world.unavailability_windows += 1;
+                        world.set_capacity(server, now, 0.0);
+                        world.tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::Fault {
+                                server: server.0,
+                                drained: drained.len() as u64,
+                            },
                         );
-                        world.assignment.remove(&fs);
-                    }
-                    for job in drained {
-                        // Most drained jobs belong to orphaned sets (now in
-                        // flight); a few may belong to sets that migrated
-                        // away earlier but still had queued work here.
-                        if let Some(m) = world.migrations.get_mut(&job.meta.set) {
-                            m.buffered.push((job.arrival, job.meta.cost));
-                        } else {
-                            let owner = *world
-                                .assignment
-                                .get(&job.meta.set)
-                                // anu-lint: allow(panic) -- failover re-assigns every set before requeueing
-                                .expect("set is assigned or migrating");
-                            world.enqueue(owner, job.arrival, job.meta.set, job.meta.cost);
+                        let view = world.view();
+                        let moves = policy.on_fail(&view, server, &world.planning_assignment());
+                        world.apply_moves(moves, cfg.failover_delay, policy.name());
+                        // Every orphaned set must now be in flight; queued
+                        // work follows its set to the new owner.
+                        let orphans: Vec<FileSetId> = world
+                            .assignment
+                            .iter()
+                            .filter(|&(_, &s)| s == server)
+                            .map(|(&fs, _)| fs)
+                            .collect();
+                        if !orphans.is_empty() {
+                            let idx = world.rebalance_clocks.len();
+                            world.rebalance_clocks.push(RebalanceClock {
+                                start: now,
+                                outstanding: orphans.len(),
+                            });
+                            for fs in &orphans {
+                                world.orphan_fault.insert(*fs, idx);
+                            }
+                        }
+                        for fs in orphans {
+                            assert!(
+                                world.migrations.contains_key(&fs),
+                                "{} left orphan {fs} on failed {server}",
+                                policy.name()
+                            );
+                            world.assignment.remove(&fs);
+                        }
+                        world.requests_requeued += drained.len() as u64;
+                        for job in drained {
+                            // Most drained jobs belong to orphaned sets (now
+                            // in flight); a few may belong to sets that
+                            // migrated away earlier but still had queued
+                            // work here.
+                            if let Some(m) = world.migrations.get_mut(&job.meta.set) {
+                                m.buffered.push((job.arrival, job.meta.cost));
+                            } else {
+                                let owner = *world
+                                    .assignment
+                                    .get(&job.meta.set)
+                                    // anu-lint: allow(panic) -- failover re-assigns every set before requeueing
+                                    .expect("set is assigned or migrating");
+                                world.enqueue(owner, job.arrival, job.meta.set, job.meta.cost);
+                            }
                         }
                     }
+                    FaultEvent::Recover { server, .. } => {
+                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
+                        let st = world.servers.get_mut(&server).expect("known server");
+                        debug_assert!(!st.alive, "recovery of alive {server}");
+                        st.alive = true;
+                        if let Some(d) = st.down_since.take() {
+                            world.unavailable_secs += now.since(d).as_secs_f64();
+                        }
+                        world.set_capacity(server, now, 1.0);
+                        world.tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::Recover { server: server.0 },
+                        );
+                        let view = world.view();
+                        let moves = policy.on_recover(&view, server, &world.planning_assignment());
+                        let delay = cfg.migration.total();
+                        world.apply_moves(moves, delay, policy.name());
+                    }
+                    FaultEvent::Slowdown {
+                        server,
+                        factor,
+                        lasts,
+                        ..
+                    } => {
+                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
+                        let st = world.servers.get_mut(&server).expect("known server");
+                        debug_assert!(st.alive, "slowdown of failed {server}");
+                        // A newer slowdown replaces a pending one outright.
+                        if let Some(h) = st.slow_end.take() {
+                            world.cal.cancel(h);
+                        }
+                        st.slow_factor = factor;
+                        let until = now + lasts;
+                        let h = world.cal.schedule(until, Event::SlowdownEnd(server));
+                        world
+                            .servers
+                            .get_mut(&server)
+                            // anu-lint: allow(panic) -- the same lookup succeeded just above
+                            .expect("known server")
+                            .slow_end = Some(h);
+                        world.set_capacity(server, now, 1.0 / factor);
+                        world.tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::Slowdown {
+                                server: server.0,
+                                factor,
+                                until_us: until.0,
+                            },
+                        );
+                    }
+                    FaultEvent::ReportLoss { server, .. } => {
+                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
+                        let st = world.servers.get_mut(&server).expect("known server");
+                        debug_assert!(st.alive, "report fault on failed {server}");
+                        st.lose_report = true;
+                        world.tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::ReportFault {
+                                server: server.0,
+                                delayed: false,
+                            },
+                        );
+                    }
+                    FaultEvent::ReportDelay { server, .. } => {
+                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
+                        let st = world.servers.get_mut(&server).expect("known server");
+                        debug_assert!(st.alive, "report fault on failed {server}");
+                        st.delay_report = true;
+                        world.tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::ReportFault {
+                                server: server.0,
+                                delayed: true,
+                            },
+                        );
+                    }
+                    FaultEvent::DelegateFail { pause_ticks, .. } => {
+                        policy.on_delegate_fail(pause_ticks);
+                        world.tracer.emit(
+                            TraceLevel::Epoch,
+                            now,
+                            &TraceEvent::DelegateFail { pause_ticks },
+                        );
+                    }
                 }
-                FaultEvent::Recover { server, .. } => {
-                    // anu-lint: allow(panic) -- fault scripts are validated against the server set
-                    let st = world.servers.get_mut(&server).expect("known server");
-                    assert!(!st.alive, "recovery of alive {server}");
-                    st.alive = true;
-                    world.tracer.emit(
-                        TraceLevel::Epoch,
-                        now,
-                        &TraceEvent::Recover { server: server.0 },
-                    );
-                    let view = world.view();
-                    let moves = policy.on_recover(&view, server, &world.assignment);
-                    let delay = cfg.migration.total();
-                    world.apply_moves(moves, delay, policy.name());
-                }
-            },
+                world.audit(&*policy);
+            }
         }
     }
 
@@ -652,6 +964,18 @@ pub fn run_traced(
                     count: world.post_horizon_completions,
                 },
             );
+        }
+    }
+
+    // Close open availability windows: a server still dead (or limping)
+    // at drain time accrues downtime/degradation up to the run's end.
+    for st in world.servers.values_mut() {
+        world.degraded_capacity_secs +=
+            (1.0 - st.cap_frac) * end_time.since(st.cap_since).as_secs_f64();
+        st.cap_frac = 1.0;
+        st.cap_since = end_time;
+        if let Some(d) = st.down_since.take() {
+            world.unavailable_secs += end_time.since(d).as_secs_f64();
         }
     }
 
@@ -690,6 +1014,18 @@ pub fn run_traced(
         band_freezes: world.band_freezes,
         divergent_freezes: world.divergent_freezes,
         factor_clamps: world.factor_clamps,
+        unavailable_secs: world.unavailable_secs,
+        unavailability_windows: world.unavailability_windows,
+        mean_rebalance_secs: if world.rebalance_secs.is_empty() {
+            0.0
+        } else {
+            world.rebalance_secs.iter().sum::<f64>() / world.rebalance_secs.len() as f64
+        },
+        max_rebalance_secs: world.rebalance_secs.iter().fold(0.0, |a: f64, &b| a.max(b)),
+        requests_requeued: world.requests_requeued,
+        degraded_capacity_secs: world.degraded_capacity_secs,
+        audit_checks: world.audit_checks,
+        audit_violations: world.audit_violations,
     };
     RunResult {
         policy: policy.name().to_string(),
@@ -941,6 +1277,220 @@ mod tests {
             .flat_map(|ts| ts.buckets().iter().map(|b| b.count))
             .sum();
         assert_eq!(total, r.summary.completed_requests);
+    }
+
+    /// Modulo placement plus instrumentation: records the reports each
+    /// tick delivered and how often the delegate failed over.
+    struct Probe {
+        seen: Vec<Vec<LoadReport>>,
+        delegate_fails: u32,
+    }
+
+    impl Probe {
+        fn new() -> Self {
+            Probe {
+                seen: Vec::new(),
+                delegate_fails: 0,
+            }
+        }
+    }
+
+    impl PlacementPolicy for Probe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn initial(&mut self, view: &ClusterView, file_sets: &[FileSetId]) -> Assignment {
+            let alive = view.alive();
+            file_sets
+                .iter()
+                .enumerate()
+                .map(|(i, &fs)| (fs, alive[i % alive.len()]))
+                .collect()
+        }
+        fn on_tick(
+            &mut self,
+            _: &ClusterView,
+            reports: &[LoadReport],
+            _: &Assignment,
+        ) -> Vec<MoveSet> {
+            self.seen.push(reports.to_vec());
+            Vec::new()
+        }
+        fn on_fail(
+            &mut self,
+            view: &ClusterView,
+            failed: ServerId,
+            assignment: &Assignment,
+        ) -> Vec<MoveSet> {
+            let alive = view.alive();
+            assignment
+                .iter()
+                .filter(|&(_, &s)| s == failed)
+                .enumerate()
+                .map(|(i, (&fs, _))| MoveSet {
+                    set: fs,
+                    to: alive[i % alive.len()],
+                })
+                .collect()
+        }
+        fn on_recover(&mut self, _: &ClusterView, _: ServerId, _: &Assignment) -> Vec<MoveSet> {
+            Vec::new()
+        }
+        fn on_delegate_fail(&mut self, _pause_ticks: u32) {
+            self.delegate_fails += 1;
+        }
+    }
+
+    #[test]
+    fn slowdown_degrades_capacity_and_latency() {
+        let base = ClusterConfig::paper();
+        let w = small_workload(10);
+        let clean = run(&base, &w, &mut Modulo);
+
+        let mut cfg = base.clone();
+        cfg.faults = vec![FaultEvent::Slowdown {
+            at: SimTime::from_secs_f64(100.0),
+            server: ServerId(4),
+            factor: 10.0,
+            lasts: SimDuration::from_secs(200),
+        }];
+        let r = run(&cfg, &w, &mut Modulo);
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+        // The limping server serves its load 10x slower for 200 s.
+        let slow = r.summary.per_server_mean_ms[&ServerId(4)];
+        let fast = clean.summary.per_server_mean_ms[&ServerId(4)];
+        assert!(
+            slow > 2.0 * fast,
+            "slowdown {slow:.3}ms vs clean {fast:.3}ms"
+        );
+        // Capacity integral is exact: 200 s at (1 - 1/10) lost capacity.
+        assert!(
+            (r.summary.degraded_capacity_secs - 180.0).abs() < 1e-6,
+            "degraded {:.6}",
+            r.summary.degraded_capacity_secs
+        );
+        // No downtime: a limping server is degraded, not unavailable.
+        assert_eq!(r.summary.unavailability_windows, 0);
+        assert!(r.summary.unavailable_secs.abs() < 1e-12);
+        // The auditor armed (chaos run) and found nothing.
+        assert!(r.summary.audit_checks > 0);
+        assert_eq!(r.summary.audit_violations, 0);
+    }
+
+    #[test]
+    fn report_faults_reach_the_policy_late_or_never() {
+        let mut cfg = ClusterConfig::paper();
+        cfg.faults = vec![
+            FaultEvent::ReportLoss {
+                at: SimTime::from_secs_f64(100.0),
+                server: ServerId(1),
+            },
+            FaultEvent::ReportDelay {
+                at: SimTime::from_secs_f64(150.0),
+                server: ServerId(1),
+            },
+        ];
+        let w = small_workload(11);
+        let mut p = Probe::new();
+        let r = run(&cfg, &w, &mut p);
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+        assert!(
+            p.seen.len() >= 3,
+            "expected >=3 ticks, got {}",
+            p.seen.len()
+        );
+        let from_s1 = |tick: &Vec<LoadReport>| -> Vec<u32> {
+            tick.iter()
+                .filter(|rep| rep.server == ServerId(1))
+                .map(|rep| rep.age_ticks)
+                .collect()
+        };
+        // Tick 0 (t=120 s): the report was lost outright.
+        assert!(from_s1(&p.seen[0]).is_empty(), "lost report delivered");
+        // Tick 1 (t=240 s): the report is held in transit.
+        assert!(from_s1(&p.seen[1]).is_empty(), "delayed report not held");
+        // Tick 2 (t=360 s): the held report lands one tick stale, next to
+        // the fresh one.
+        let mut ages = from_s1(&p.seen[2]);
+        ages.sort_unstable();
+        assert_eq!(ages, vec![0, 1], "held + fresh reports expected");
+        assert_eq!(r.summary.audit_violations, 0);
+    }
+
+    #[test]
+    fn delegate_fail_reaches_the_policy() {
+        let mut cfg = ClusterConfig::paper();
+        cfg.faults = vec![FaultEvent::DelegateFail {
+            at: SimTime::from_secs_f64(130.0),
+            pause_ticks: 2,
+        }];
+        let w = small_workload(12);
+        let mut p = Probe::new();
+        let r = run(&cfg, &w, &mut p);
+        assert_eq!(p.delegate_fails, 1);
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+        assert_eq!(r.summary.audit_violations, 0);
+    }
+
+    #[test]
+    fn fail_recover_records_availability_metrics() {
+        let mut cfg = ClusterConfig::paper();
+        cfg.faults = vec![
+            FaultEvent::Fail {
+                at: SimTime::from_secs_f64(150.0),
+                server: ServerId(1),
+            },
+            FaultEvent::Recover {
+                at: SimTime::from_secs_f64(350.0),
+                server: ServerId(1),
+            },
+        ];
+        let w = small_workload(13);
+        let r = run(&cfg, &w, &mut Modulo);
+        assert_eq!(r.summary.completed_requests, r.summary.offered_requests);
+        assert_eq!(r.summary.unavailability_windows, 1);
+        // Down 150 s → 350 s exactly; a dead server loses full capacity.
+        assert!(
+            (r.summary.unavailable_secs - 200.0).abs() < 1e-6,
+            "unavailable {:.6}",
+            r.summary.unavailable_secs
+        );
+        assert!(
+            (r.summary.degraded_capacity_secs - 200.0).abs() < 1e-6,
+            "degraded {:.6}",
+            r.summary.degraded_capacity_secs
+        );
+        // Orphans re-home after exactly the failover delay.
+        assert!(
+            (r.summary.mean_rebalance_secs - cfg.failover_delay.as_secs_f64()).abs() < 1e-6,
+            "rebalance {:.6}",
+            r.summary.mean_rebalance_secs
+        );
+        assert!(r.summary.max_rebalance_secs >= r.summary.mean_rebalance_secs);
+        assert!(r.summary.audit_checks > 0);
+        assert_eq!(r.summary.audit_violations, 0);
+    }
+
+    #[test]
+    fn fault_free_runs_do_not_audit() {
+        let cfg = ClusterConfig::paper();
+        let w = small_workload(14);
+        let r = run(&cfg, &w, &mut Modulo);
+        assert_eq!(r.summary.audit_checks, 0);
+        assert_eq!(r.summary.degraded_capacity_secs, 0.0);
+        assert_eq!(r.summary.unavailable_secs, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault script")]
+    fn contradictory_fault_script_is_rejected_up_front() {
+        let mut cfg = ClusterConfig::paper();
+        cfg.faults = vec![FaultEvent::Recover {
+            at: SimTime::from_secs_f64(10.0),
+            server: ServerId(0),
+        }];
+        let w = small_workload(15);
+        run(&cfg, &w, &mut Modulo);
     }
 
     #[test]

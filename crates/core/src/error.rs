@@ -33,6 +33,15 @@ pub enum AnuError {
     EmptyCluster,
     /// The requested partition count is out of the supported range.
     BadPartitionCount(u32),
+    /// A fault script is inconsistent: the event at `index` (in schedule
+    /// order) cannot be applied to the cluster state the preceding events
+    /// leave behind. `reason` names the specific contradiction.
+    BadFaultScript {
+        /// Index of the offending event in the fault list.
+        index: usize,
+        /// Human-readable description of the contradiction.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AnuError {
@@ -52,6 +61,9 @@ impl fmt::Display for AnuError {
             AnuError::EmptyCluster => write!(f, "operation requires at least one server"),
             AnuError::BadPartitionCount(k) => {
                 write!(f, "log2 partition count {k} outside supported range 1..=20")
+            }
+            AnuError::BadFaultScript { index, reason } => {
+                write!(f, "fault script event {index}: {reason}")
             }
         }
     }
@@ -77,5 +89,13 @@ mod tests {
             .contains("expected 2"));
         let e: Box<dyn std::error::Error> = Box::new(AnuError::EmptyCluster);
         assert!(e.to_string().contains("at least one server"));
+        let bad = AnuError::BadFaultScript {
+            index: 3,
+            reason: "recovery of alive server s1".to_string(),
+        };
+        assert_eq!(
+            bad.to_string(),
+            "fault script event 3: recovery of alive server s1"
+        );
     }
 }

@@ -58,6 +58,17 @@ pub struct TuningConfig {
     pub divergent: bool,
     /// Average used by the delegate.
     pub average: AverageKind,
+    /// Oldest usable [`LoadReport`](crate::tuner::LoadReport), in ticks. A
+    /// report with `age_ticks` beyond this is discarded as stale; the
+    /// server's share is then frozen for the epoch (`TuneOutcome::NoReport`)
+    /// rather than treated as zero latency. Age 1 admits a report delayed by
+    /// exactly one tick (the fault injector's `ReportDelay`).
+    pub max_report_age: u32,
+    /// Minimum fraction of share-holding servers with a usable report for
+    /// the delegate to tune at all. Below quorum the whole epoch freezes:
+    /// every share is carried forward unchanged. A full-report tick always
+    /// meets any quorum ≤ 1, so this only bites under report loss.
+    pub min_quorum: f64,
 }
 
 impl Default for TuningConfig {
@@ -78,6 +89,8 @@ impl TuningConfig {
             top_off: false,
             divergent: false,
             average: AverageKind::WeightedMean,
+            max_report_age: 1,
+            min_quorum: 0.5,
         }
     }
 
@@ -187,6 +200,8 @@ impl ToJson for TuningConfig {
             ("top_off", Json::Bool(self.top_off)),
             ("divergent", Json::Bool(self.divergent)),
             ("average", self.average.to_json()),
+            ("max_report_age", Json::u64(u64::from(self.max_report_age))),
+            ("min_quorum", Json::f64(self.min_quorum)),
         ])
     }
 }
@@ -205,6 +220,8 @@ impl FromJson for TuningConfig {
             top_off: j.get("top_off")?.as_bool()?,
             divergent: j.get("divergent")?.as_bool()?,
             average: AverageKind::from_json(j.get("average")?)?,
+            max_report_age: j.get("max_report_age")?.as_u32()?,
+            min_quorum: j.get("min_quorum")?.as_f64()?,
         })
     }
 }
@@ -224,6 +241,10 @@ mod tests {
         assert!(TuningConfig::top_off_only(0.3).top_off);
         assert!(TuningConfig::divergent_only().divergent);
         assert_eq!(TuningConfig::default(), TuningConfig::paper());
+        // Robustness defaults: a one-tick-stale report is still usable and
+        // the delegate tunes from any majority quorum.
+        assert_eq!(p.max_report_age, 1);
+        assert!((p.min_quorum - 0.5).abs() < 1e-12);
     }
 
     #[test]

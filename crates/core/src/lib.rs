@@ -44,6 +44,7 @@
 //!         server: s,
 //!         mean_latency_ms: if s.0 == 0 { 900.0 } else { 80.0 },
 //!         requests: 100,
+//!         age_ticks: 0,
 //!     })
 //!     .collect();
 //! if let Some(plan) = tuner.plan(&map.share_fractions(), &reports) {

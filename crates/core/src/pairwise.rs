@@ -202,6 +202,7 @@ mod tests {
             server: ServerId(s),
             mean_latency_ms: l,
             requests: r,
+            age_ticks: 0,
         }
     }
 

@@ -32,6 +32,12 @@ pub struct LoadReport {
     pub mean_latency_ms: f64,
     /// Number of requests completed in the interval.
     pub requests: u64,
+    /// How many ticks old the report is. `0` is a fresh report; a report
+    /// delayed in flight arrives with `1`. Reports older than
+    /// [`TuningConfig::max_report_age`] are discarded by the delegate and
+    /// the server's share is frozen ([`TuneOutcome::NoReport`]) instead of
+    /// being mistaken for an idle server.
+    pub age_ticks: u32,
 }
 
 /// Outcome of one delegate tuning pass.
@@ -64,6 +70,11 @@ pub enum TuneOutcome {
     /// Divergent tuning froze the server: it was already converging on
     /// its own.
     FrozenDivergent,
+    /// The delegate had no usable report for the server (lost in flight or
+    /// older than `max_report_age`), or the whole epoch fell below
+    /// `min_quorum`. The share is carried forward unchanged — a missing
+    /// report is missing information, not zero latency.
+    NoReport,
 }
 
 impl TuneOutcome {
@@ -75,6 +86,7 @@ impl TuneOutcome {
             TuneOutcome::Floored => "floored",
             TuneOutcome::FrozenBand => "frozen_band",
             TuneOutcome::FrozenDivergent => "frozen_divergent",
+            TuneOutcome::NoReport => "no_report",
         }
     }
 }
@@ -287,16 +299,37 @@ impl Tuner {
     /// considered balanced (no mover selected) — the configuration should
     /// then be left untouched. Previous-interval state is updated either
     /// way.
+    ///
+    /// Robustness: reports older than `max_report_age` ticks are discarded;
+    /// a share-holding server with no usable report is frozen at its
+    /// current share ([`TuneOutcome::NoReport`]); if fewer than `min_quorum`
+    /// of the share holders have a usable report, the whole pass freezes.
     pub fn plan(
         &mut self,
         shares: &BTreeMap<ServerId, f64>,
         reports: &[LoadReport],
     ) -> Option<TunePlan> {
-        let lat: BTreeMap<ServerId, f64> = reports
+        // Age out stale reports, then keep only the freshest report per
+        // server: a delayed report delivered alongside the next fresh one
+        // must not double-count that server in the cluster average.
+        let mut freshest: BTreeMap<ServerId, LoadReport> = BTreeMap::new();
+        for r in reports {
+            if r.age_ticks > self.cfg.max_report_age {
+                continue;
+            }
+            match freshest.get(&r.server) {
+                Some(kept) if kept.age_ticks <= r.age_ticks => {}
+                _ => {
+                    freshest.insert(r.server, *r);
+                }
+            }
+        }
+        let usable: Vec<LoadReport> = freshest.into_values().collect();
+        let lat: BTreeMap<ServerId, f64> = usable
             .iter()
             .map(|r| (r.server, r.mean_latency_ms))
             .collect();
-        let (result, epoch) = self.plan_inner(shares, reports, &lat);
+        let (result, epoch) = self.plan_inner(shares, &usable, &lat);
         self.prev = Some(lat);
         self.last_epoch = epoch;
         result
@@ -319,12 +352,55 @@ impl Tuner {
             return (None, None);
         }
 
+        // Partial-quorum gate: tuning from a sliver of the cluster would
+        // chase a μ computed over whoever happened to report. Below quorum
+        // the configuration stands; every decision records `no_report` so
+        // the telemetry shows *why* the epoch froze.
+        let reporting = shares.keys().filter(|s| lat.contains_key(s)).count();
+        if !shares.is_empty() && (reporting as f64) < self.cfg.min_quorum * shares.len() as f64 {
+            let decisions = shares
+                .iter()
+                .map(|(&s, &share)| {
+                    let old_share = share / share_total;
+                    TuneDecision {
+                        server: s,
+                        latency_ms: lat.get(&s).copied().unwrap_or(0.0),
+                        old_share,
+                        new_share: old_share,
+                        applied_share: old_share,
+                        outcome: TuneOutcome::NoReport,
+                    }
+                })
+                .collect();
+            let epoch = TuneEpoch {
+                mu_ms: mu,
+                planned: false,
+                decisions,
+            };
+            return (None, Some(epoch));
+        }
+
         let mut targets = BTreeMap::new();
         let mut movers = Vec::new();
         let mut decisions = Vec::with_capacity(shares.len());
         for (&s, &share) in shares {
-            let latency = lat.get(&s).copied().unwrap_or(0.0);
             let old_share = share / share_total;
+            let Some(&latency) = lat.get(&s) else {
+                // Missing report: freeze the share. The old code treated
+                // this as zero latency, which grew the silent server at the
+                // clamp — exactly wrong for a server that is slow or
+                // partitioned rather than idle.
+                targets.insert(s, share);
+                decisions.push(TuneDecision {
+                    server: s,
+                    latency_ms: 0.0,
+                    old_share,
+                    new_share: old_share,
+                    applied_share: old_share,
+                    outcome: TuneOutcome::NoReport,
+                });
+                continue;
+            };
             let outcome = if self.cfg.within_band(latency, mu) {
                 TuneOutcome::FrozenBand
             } else if !self.cfg.divergence_allows(
@@ -426,6 +502,7 @@ mod tests {
             server: ServerId(s),
             mean_latency_ms: lat,
             requests: req,
+            age_ticks: 0,
         }
     }
 
@@ -658,6 +735,136 @@ mod tests {
             .plan(&equal_shares(2), &[report(0, 0.0, 0), report(1, 0.0, 0)])
             .is_none());
         assert!(t.take_epoch().is_none());
+    }
+
+    fn stale(s: u32, lat: f64, req: u64, age: u32) -> LoadReport {
+        LoadReport {
+            age_ticks: age,
+            ..report(s, lat, req)
+        }
+    }
+
+    #[test]
+    fn missing_report_freezes_share_instead_of_growing_it() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(3);
+        // Server 2 filed no report. The old behavior treated it as idle
+        // (zero latency) and grew it at the clamp; it must now hold its
+        // share exactly while the reporting pair rebalances around it.
+        let plan = t
+            .plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 100)])
+            .unwrap();
+        let s2 = ServerId(2);
+        // Frozen means "not a mover": like the band-frozen case, the share
+        // only drifts by the renormalization slack (here within ±15%), far
+        // from the ~2x the old zero-latency clamp growth produced.
+        assert!(!plan.movers.contains(&s2));
+        let drift = plan.targets[&s2] / shares[&s2];
+        assert!(
+            (0.85..=1.15).contains(&drift),
+            "silent server share moved: {} -> {}",
+            shares[&s2],
+            plan.targets[&s2]
+        );
+        let epoch = t.take_epoch().unwrap();
+        let d2 = epoch.decisions.iter().find(|d| d.server == s2).unwrap();
+        assert_eq!(d2.outcome, TuneOutcome::NoReport);
+        assert_eq!(d2.new_share, plan.targets[&s2]);
+    }
+
+    #[test]
+    fn stale_report_is_aged_out() {
+        let mut cfg = TuningConfig::plain();
+        cfg.max_report_age = 1;
+        let mut t = Tuner::new(cfg);
+        let shares = equal_shares(3);
+        // Server 2's report is two ticks old: discarded, share frozen.
+        let plan = t
+            .plan(
+                &shares,
+                &[
+                    report(0, 400.0, 100),
+                    report(1, 100.0, 100),
+                    stale(2, 1.0, 100, 2),
+                ],
+            )
+            .unwrap();
+        let s2 = ServerId(2);
+        assert!(!plan.movers.contains(&s2), "aged-out server is frozen");
+        let drift = plan.targets[&s2] / shares[&s2];
+        assert!((0.85..=1.15).contains(&drift), "drift {drift}");
+        let epoch = t.take_epoch().unwrap();
+        let d2 = epoch.decisions.iter().find(|d| d.server == s2).unwrap();
+        assert_eq!(d2.outcome, TuneOutcome::NoReport);
+        // A one-tick-stale report (ReportDelay) is still usable.
+        let plan = t
+            .plan(
+                &shares,
+                &[
+                    report(0, 400.0, 100),
+                    report(1, 100.0, 100),
+                    stale(2, 1.0, 100, 1),
+                ],
+            )
+            .unwrap();
+        assert!(
+            plan.targets[&s2] > shares[&s2],
+            "delayed report still tunes the fast server up"
+        );
+    }
+
+    #[test]
+    fn duplicate_reports_keep_only_the_freshest() {
+        let mut t = Tuner::new(TuningConfig::plain());
+        let shares = equal_shares(2);
+        // Server 0's delayed report from last tick (age 1, latency 900)
+        // arrives alongside its fresh one (age 0, latency 400). Only the
+        // fresh number may enter the cluster average; the result must be
+        // identical to a run that never saw the stale duplicate.
+        let duped = t
+            .plan(
+                &shares,
+                &[
+                    stale(0, 900.0, 100, 1),
+                    report(0, 400.0, 100),
+                    report(1, 100.0, 100),
+                ],
+            )
+            .unwrap();
+        let mut t2 = Tuner::new(TuningConfig::plain());
+        let clean = t2
+            .plan(&shares, &[report(0, 400.0, 100), report(1, 100.0, 100)])
+            .unwrap();
+        assert_eq!(duped.targets, clean.targets);
+        assert_eq!(duped.movers, clean.movers);
+    }
+
+    #[test]
+    fn below_quorum_freezes_the_whole_epoch() {
+        let mut cfg = TuningConfig::plain();
+        cfg.min_quorum = 0.5;
+        let mut t = Tuner::new(cfg);
+        let shares = equal_shares(5);
+        // Only one of five share holders reported: below the 50% quorum,
+        // the configuration stands and every decision says why.
+        assert!(t.plan(&shares, &[report(0, 400.0, 100)]).is_none());
+        let epoch = t.take_epoch().expect("quorum freeze still records");
+        assert!(!epoch.planned);
+        assert_eq!(epoch.decisions.len(), 5);
+        assert!(epoch
+            .decisions
+            .iter()
+            .all(|d| d.outcome == TuneOutcome::NoReport && d.new_share == d.old_share));
+        // Three of five meets quorum: the pass plans normally.
+        let plan = t.plan(
+            &shares,
+            &[
+                report(0, 400.0, 100),
+                report(1, 100.0, 100),
+                report(2, 100.0, 100),
+            ],
+        );
+        assert!(plan.is_some());
     }
 
     #[test]

@@ -302,6 +302,7 @@ mod pairwise_props {
                     server: ServerId(i as u32),
                     mean_latency_ms: lats[i],
                     requests: reqs[i],
+                    age_ticks: 0,
                 })
                 .collect();
             let matching = if hilo {
@@ -345,6 +346,7 @@ mod pairwise_props {
                         server: ServerId(i as u32),
                         mean_latency_ms: lats[i] * (1.0 + round as f64 * 0.1),
                         requests: 50,
+                        age_ticks: 0,
                     })
                     .collect();
                 if let Some(targets) = t.plan(&map.share_fractions(), &reports) {

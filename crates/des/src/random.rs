@@ -116,6 +116,15 @@ impl RngStream {
         result
     }
 
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    ///
+    /// Consumes exactly one uniform regardless of `p`, so gating a draw on
+    /// a probability never perturbs the stream consumed by later draws.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
     /// Exponential draw with the given rate (mean `1/rate`), via inverse
     /// transform. Used for Poisson-process inter-arrival gaps.
     #[inline]
@@ -269,6 +278,23 @@ mod tests {
         let f0 = counts[0] as f64 / 50_000.0;
         assert!((f0 - 0.1928).abs() < 0.02, "{f0}");
         assert!((z.prob(0) - 0.1928).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chance_respects_probability_and_draw_count() {
+        let mut r = RngStream::new(9, "c");
+        let hits = (0..40_000).filter(|_| r.chance(0.3)).count();
+        let f = hits as f64 / 40_000.0;
+        assert!((f - 0.3).abs() < 0.02, "{f}");
+        // Degenerate probabilities still consume exactly one draw each, so
+        // two streams stay in lockstep whatever p they were gated on.
+        let mut a = RngStream::new(10, "c");
+        let mut b = RngStream::new(10, "c");
+        assert!(!a.chance(0.0));
+        assert!(b.chance(1.0));
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

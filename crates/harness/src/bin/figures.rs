@@ -4,7 +4,7 @@
 //! ```text
 //! figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR]
 //!         [--bench-out FILE] [--trace-out DIR] [--trace-level LVL]
-//!         [--series] [--plot]
+//!         [--series] [--plot] [--chaos]
 //! ```
 //!
 //! The full {figure × policy × seed} grid is enumerated as independent
@@ -21,6 +21,14 @@
 //! (wall time, per-task simulated events/sec, verdicts) is written to
 //! `--bench-out` (default `BENCH_figures.json`).
 //!
+//! `--chaos` appends the fault-intensity sweep: the four-policy lineup
+//! under escalating deterministic fault scripts (crashes, slowdowns,
+//! report loss, delegate failures), writing `chaos_*.csv` series plus the
+//! `chaos_summary.csv` availability table to `--out` and a `chaos`
+//! section into the manifest. Its robustness checks (auditor clean, no
+//! lost requests, tuning resumes after re-election) count toward the exit
+//! code like the figure shape checks.
+//!
 //! Tracing: every figure additionally writes its per-epoch tuner telemetry
 //! to `<figure>_tuner_epochs.csv` in `--out`. `--trace-out DIR` records a
 //! structured JSONL trace of every task (one file per task) at
@@ -30,9 +38,10 @@
 
 use anu_harness::runner;
 use anu_harness::{
-    checks_for, checks_table, figure, measure_trace_overhead, reduced, series_table, sparklines,
-    summary_table, write_figure_csvs_tagged, write_tuner_epochs_csv, Experiment, FigureVerdict,
-    DEFAULT_SEED, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
+    chaos_checks, chaos_experiments, chaos_manifest, chaos_rows, checks_for, checks_table, figure,
+    measure_trace_overhead, reduced, series_table, sparklines, summary_table,
+    write_chaos_summary_csv, write_figure_csvs_tagged, write_tuner_epochs_csv, Experiment,
+    FigureVerdict, CHAOS_LEVELS, DEFAULT_SEED, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
 };
 use anu_trace::TraceLevel;
 use std::path::PathBuf;
@@ -49,6 +58,7 @@ struct Args {
     trace_level: TraceLevel,
     series: bool,
     plot: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +73,7 @@ fn parse_args() -> Args {
         trace_level: TraceLevel::Epoch,
         series: false,
         plot: false,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -109,9 +120,10 @@ fn parse_args() -> Args {
             }
             "--series" => args.series = true,
             "--plot" => args.plot = true,
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--trace-out DIR] [--trace-level off|epoch|request] [--series] [--plot]"
+                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--trace-out DIR] [--trace-level off|epoch|request] [--series] [--plot] [--chaos]"
                 );
                 std::process::exit(0);
             }
@@ -284,6 +296,60 @@ fn main() {
         });
     }
 
+    // Optional fault-intensity sweep; its own grid, its own manifest
+    // section, but the robustness verdicts gate the exit code like the
+    // figure checks do.
+    let chaos_fragment = if args.chaos {
+        let chaos_exps = chaos_experiments(args.seed);
+        println!(
+            "\nchaos sweep: {} intensity levels {:?} x {} policies",
+            CHAOS_LEVELS.len(),
+            CHAOS_LEVELS,
+            chaos_exps[0].policies.len()
+        );
+        let chaos_outcomes = runner::run_grid_traced(&chaos_exps, jobs, trace_level);
+        if let Some(dir) = args.trace_out.as_deref() {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+            for o in &chaos_outcomes {
+                let safe: String = o
+                    .task
+                    .label
+                    .chars()
+                    .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                    .collect();
+                let mut body = o.trace_lines.join("\n");
+                if !body.is_empty() {
+                    body.push('\n');
+                }
+                std::fs::write(dir.join(format!("{}_{safe}.jsonl", o.task.name)), body)
+                    .expect("write trace");
+            }
+        }
+        let grouped = runner::group_results(chaos_outcomes, chaos_exps.len());
+        for (exp, results) in chaos_exps.iter().zip(&grouped) {
+            println!(
+                "\n=== Chaos {} (intensity sweep, {} fault events, seed {}) ===",
+                exp.name,
+                exp.cluster.faults.len(),
+                exp.seed
+            );
+            println!("{}", summary_table(results));
+            write_figure_csvs_tagged(&exp.name, None, results, &args.out)
+                .expect("write chaos CSVs");
+            write_tuner_epochs_csv(&exp.name, None, results, &args.out)
+                .expect("write chaos tuner-epoch CSV");
+            let checks = chaos_checks(exp, results);
+            print!("{}", checks_table(&checks));
+            all_pass &= checks.iter().all(|c| c.pass);
+        }
+        let rows = chaos_rows(&CHAOS_LEVELS, &chaos_exps, &grouped);
+        let summary_path = write_chaos_summary_csv(&rows, &args.out).expect("write chaos summary");
+        println!("  wrote chaos series + {}", summary_path.display());
+        Some(chaos_manifest(&rows))
+    } else {
+        None
+    };
+
     // Flatten back to task order for the manifest.
     let outcomes: Vec<runner::TaskOutcome> = {
         let mut all: Vec<runner::TaskOutcome> = grouped.into_iter().flatten().collect();
@@ -333,6 +399,7 @@ fn main() {
         &verdicts,
         trace_level,
         overhead.as_ref(),
+        chaos_fragment.as_ref(),
     );
     std::fs::write(&args.bench_out, manifest.render_pretty()).expect("write bench manifest");
     println!(

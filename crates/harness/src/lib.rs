@@ -11,6 +11,9 @@
 //!   figure/seed grid as independent tasks, drained by a scoped-thread
 //!   worker pool with byte-identical outputs at any `--jobs N`, plus the
 //!   `BENCH_figures.json` perf manifest;
+//! * [`chaos`] — the fault-intensity sweep: the four-policy lineup under
+//!   escalating deterministic fault scripts, with availability metrics
+//!   and robustness checks;
 //! * [`report`] — text tables, CSV emission, and verdict rendering.
 //!
 //! Binaries: `figures` regenerates every figure's series and prints the
@@ -20,11 +23,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod runner;
 
+pub use chaos::{
+    chaos_checks, chaos_experiment, chaos_experiments, chaos_manifest, chaos_name, chaos_rows,
+    write_chaos_summary_csv, ChaosRow, CHAOS_LEVELS,
+};
 pub use experiment::{Experiment, PolicyKind, PrescientWindow};
 pub use figures::{
     all_figures, check_closeup, check_decomposition, check_four_policy, check_overtuning,

@@ -352,7 +352,8 @@ mod tests {
                     "clamped",
                     "floored",
                     "frozen_band",
-                    "frozen_divergent"
+                    "frozen_divergent",
+                    "no_report"
                 ]
                 .contains(&outcome),
                 "unknown outcome {outcome} in {r}"

@@ -36,8 +36,10 @@ use std::time::Instant;
 /// Manifest schema identifier; bump when the shape of
 /// `BENCH_figures.json` changes incompatibly. v2 added structured-trace
 /// fields: per-task `trace_events`, top-level `trace_level` and
-/// `trace_overhead`.
-pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v2";
+/// `trace_overhead`. v3 added the top-level `chaos` section (fault
+/// intensity levels and per-cell availability metrics; `null` when the
+/// sweep ran without `--chaos`).
+pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v3";
 
 /// Requested worker count for [`Experiment::run_all`] when the caller does
 /// not pass one explicitly; 0 means "one worker per available core".
@@ -299,6 +301,12 @@ impl FigureVerdict {
 /// else — task grid, seeds, simulated event counts, verdicts — is
 /// deterministic and must be identical at any worker count (see
 /// [`strip_timing`]).
+///
+/// `chaos` is the [`crate::chaos::chaos_manifest`] fragment when the run
+/// swept fault intensities, `None` otherwise (serialized as `null`).
+// One parameter per manifest section, called from exactly one place (the
+// figures binary); a builder would be ceremony without safety.
+#[allow(clippy::too_many_arguments)]
 pub fn manifest(
     base_seed: u64,
     jobs: usize,
@@ -307,6 +315,7 @@ pub fn manifest(
     verdicts: &[FigureVerdict],
     trace_level: TraceLevel,
     overhead: Option<&TraceOverhead>,
+    chaos: Option<&Json>,
 ) -> Json {
     let total_events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
     let events_per_sec = if wall_secs > 0.0 {
@@ -373,6 +382,7 @@ pub fn manifest(
             "all_pass",
             Json::bool(verdicts.iter().all(FigureVerdict::pass)),
         ),
+        ("chaos", chaos.cloned().unwrap_or(Json::Null)),
         ("tasks", Json::arr(tasks)),
         ("figures", Json::arr(figures)),
     ])
@@ -517,8 +527,27 @@ mod tests {
             on_events_per_sec: 9.9e5,
             overhead_pct: 1.0,
         };
-        let ma = manifest(5, 1, 1.23, &a, &verdicts, TraceLevel::Off, Some(&over));
-        let mb = manifest(5, 8, 0.45, &b, &verdicts, TraceLevel::Off, None);
+        let chaos = Json::obj(vec![("levels", Json::arr(vec![Json::f64(1.0)]))]);
+        let ma = manifest(
+            5,
+            1,
+            1.23,
+            &a,
+            &verdicts,
+            TraceLevel::Off,
+            Some(&over),
+            Some(&chaos),
+        );
+        let mb = manifest(
+            5,
+            8,
+            0.45,
+            &b,
+            &verdicts,
+            TraceLevel::Off,
+            None,
+            Some(&chaos),
+        );
         assert_ne!(ma, mb, "timing fields must differ");
         assert_eq!(strip_timing(&ma), strip_timing(&mb));
         // The stripped manifest still carries the deterministic payload.
@@ -542,12 +571,22 @@ mod tests {
                 pass: false,
             }],
         }];
-        let m = manifest(5, 2, 0.5, &outcomes, &verdicts, TraceLevel::Epoch, None);
+        let m = manifest(
+            5,
+            2,
+            0.5,
+            &outcomes,
+            &verdicts,
+            TraceLevel::Epoch,
+            None,
+            None,
+        );
         assert_eq!(m.get("schema").unwrap().as_str().unwrap(), MANIFEST_SCHEMA);
         assert_eq!(m.get("base_seed").unwrap().as_u64().unwrap(), 5);
         assert_eq!(m.get("tasks_total").unwrap().as_usize().unwrap(), 3);
         assert_eq!(m.get("trace_level").unwrap().as_str().unwrap(), "epoch");
         assert_eq!(m.get("trace_overhead").unwrap(), &Json::Null);
+        assert_eq!(m.get("chaos").unwrap(), &Json::Null);
         assert!(!m.get("all_pass").unwrap().as_bool().unwrap());
         let tasks = m.get("tasks").unwrap().as_arr().unwrap();
         assert_eq!(tasks.len(), 3);

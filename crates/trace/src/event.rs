@@ -120,6 +120,33 @@ pub enum TraceEvent {
         /// Recovered server.
         server: u32,
     },
+    /// A server entered a limping phase: service times are inflated by
+    /// `factor` until `until_us` (epoch level). Emitted eagerly when the
+    /// slowdown fault fires — tracing must never schedule calendar events,
+    /// so the scheduled end time rides in the payload.
+    Slowdown {
+        /// Affected server.
+        server: u32,
+        /// Service-time inflation factor (≥ 1).
+        factor: f64,
+        /// Simulated time (µs) at which the slowdown lifts.
+        until_us: u64,
+    },
+    /// The tuning delegate died; re-election pauses tuning (epoch level).
+    DelegateFail {
+        /// Tuning ticks the policy sits out while a new delegate is
+        /// elected.
+        pause_ticks: u32,
+    },
+    /// A server's latency report was lost or delayed in transit
+    /// (epoch level).
+    ReportFault {
+        /// Server whose report was affected.
+        server: u32,
+        /// True when the report was delayed one tick; false when it was
+        /// dropped outright.
+        delayed: bool,
+    },
     /// A diagnostic condition worth surfacing (epoch level).
     Warning {
         /// Stable machine-readable code, e.g. `stragglers`.
@@ -160,6 +187,9 @@ impl TraceEvent {
             TraceEvent::MigrationFinish { .. } => "migration_finish",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Slowdown { .. } => "slowdown",
+            TraceEvent::DelegateFail { .. } => "delegate_fail",
+            TraceEvent::ReportFault { .. } => "report_fault",
             TraceEvent::Warning { .. } => "warning",
             TraceEvent::SpanBegin { .. } => "span_begin",
             TraceEvent::SpanEnd { .. } => "span_end",
@@ -238,6 +268,22 @@ impl TraceEvent {
             }
             TraceEvent::Recover { server } => {
                 f.push(("server".into(), Json::u32(*server)));
+            }
+            TraceEvent::Slowdown {
+                server,
+                factor,
+                until_us,
+            } => {
+                f.push(("server".into(), Json::u32(*server)));
+                f.push(("factor".into(), Json::f64(*factor)));
+                f.push(("until_us".into(), Json::u64(*until_us)));
+            }
+            TraceEvent::DelegateFail { pause_ticks } => {
+                f.push(("pause_ticks".into(), Json::u64(u64::from(*pause_ticks))));
+            }
+            TraceEvent::ReportFault { server, delayed } => {
+                f.push(("server".into(), Json::u32(*server)));
+                f.push(("delayed".into(), Json::bool(*delayed)));
             }
             TraceEvent::Warning {
                 code,
@@ -326,6 +372,16 @@ mod tests {
                 drained: 5,
             },
             TraceEvent::Recover { server: 1 },
+            TraceEvent::Slowdown {
+                server: 2,
+                factor: 4.0,
+                until_us: 9_000_000,
+            },
+            TraceEvent::DelegateFail { pause_ticks: 2 },
+            TraceEvent::ReportFault {
+                server: 3,
+                delayed: true,
+            },
             TraceEvent::Warning {
                 code: "stragglers",
                 detail: "requests in flight past horizon".into(),

@@ -67,12 +67,15 @@ pub enum Lint {
     Print,
     /// Undocumented `pub` item in library code.
     MissingDocs,
+    /// A line starting with a single `/` directly beside a doc comment —
+    /// a `///` doc line that lost slashes in an edit or merge.
+    DocSlash,
     /// Malformed waiver (missing justification).
     Waiver,
 }
 
 /// Every lint, in reporting order.
-pub const ALL_LINTS: [Lint; 9] = [
+pub const ALL_LINTS: [Lint; 10] = [
     Lint::WallClock,
     Lint::ThreadRng,
     Lint::HashIteration,
@@ -81,6 +84,7 @@ pub const ALL_LINTS: [Lint; 9] = [
     Lint::Panic,
     Lint::Print,
     Lint::MissingDocs,
+    Lint::DocSlash,
     Lint::Waiver,
 ];
 
@@ -96,6 +100,7 @@ impl Lint {
             Lint::Panic => "panic",
             Lint::Print => "print",
             Lint::MissingDocs => "missing-docs",
+            Lint::DocSlash => "doc-slash",
             Lint::Waiver => "waiver",
         }
     }
@@ -117,6 +122,9 @@ impl Lint {
                 "println!/eprintln! in library code; emit trace events or return the text"
             }
             Lint::MissingDocs => "undocumented pub item in library code",
+            Lint::DocSlash => {
+                "single-`/` line beside a doc comment; a `///` doc line lost its slashes"
+            }
             Lint::Waiver => "anu-lint waiver without a written justification",
         }
     }
@@ -426,6 +434,9 @@ struct LineInfo {
     bad_waiver: Option<String>,
     /// The line is a `///` or `//!` doc comment.
     doc_comment: bool,
+    /// The raw line begins with exactly one `/` (not a comment): either a
+    /// division continuation or a doc line that lost slashes.
+    doc_slash: bool,
     /// The line is inside (or opens) a `#[cfg(test)]` module.
     in_test_cfg: bool,
 }
@@ -444,6 +455,22 @@ fn scan_file(text: &str, ctx: &FileContext, report: &mut Report) {
         }
         if info.in_test_cfg {
             continue;
+        }
+        // A single-`/` line is only suspicious right next to a doc
+        // comment: there it is almost certainly a `///` line that lost
+        // slashes (rustc parses it as division and the diagnostics are
+        // baffling). Division continuations sit between code lines and
+        // never trip this.
+        if info.doc_slash {
+            let beside_doc = (idx > 0 && lines[idx - 1].doc_comment)
+                || lines.get(idx + 1).is_some_and(|l| l.doc_comment);
+            if beside_doc {
+                pending.push((
+                    lineno,
+                    Lint::DocSlash,
+                    "line starts with a single `/` beside a doc comment; a `///` doc line lost its slashes".to_string(),
+                ));
+            }
         }
         let code = info.code.as_str();
 
@@ -709,6 +736,10 @@ fn analyze_lines(text: &str) -> Vec<LineInfo> {
         };
         let trimmed_raw = raw.trim_start();
         info.doc_comment = trimmed_raw.starts_with("///") || trimmed_raw.starts_with("//!");
+        // Block-comment interiors have a blank code view; a real mangled
+        // doc line parses as code, so it survives the strip.
+        info.doc_slash =
+            (trimmed_raw.starts_with("/ ") || trimmed_raw == "/") && !info.code.trim().is_empty();
 
         // Waiver comments are parsed from the comment view only, so
         // string literals mentioning the syntax (e.g. in this very crate)
@@ -991,6 +1022,54 @@ mod tests {
             &c,
         );
         assert!(r.clean());
+    }
+
+    #[test]
+    fn flags_single_slash_beside_doc_comment() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        // Degraded doc line below a `///` line.
+        let r = run(
+            "/// First doc line,\n/ second lost two slashes.\npub fn f() {}\n",
+            &c,
+        );
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.lint == Lint::DocSlash && v.line == 2),
+            "{:?}",
+            r.violations
+        );
+        // Degraded doc line above a surviving `///` line.
+        let r = run(
+            "/ first lost two slashes,\n/// second doc line.\npub fn g() {}\n",
+            &c,
+        );
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.lint == Lint::DocSlash && v.line == 1),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn division_continuations_are_not_doc_slash() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text =
+            "/// Mean.\npub fn mean(s: f64, n: f64, d: f64) -> f64 {\n    s / n\n        / d\n}\n";
+        let r = run(text, &c);
+        assert!(r.clean(), "{:?}", r.violations);
+        // A `/ …` line inside a block comment is prose, not a doc line.
+        let r = run(
+            "/// d\npub fn f() {}\n/*\n/ prose in a block comment\n*/\n",
+            &c,
+        );
+        assert!(
+            !r.violations.iter().any(|v| v.lint == Lint::DocSlash),
+            "{:?}",
+            r.violations
+        );
     }
 
     #[test]

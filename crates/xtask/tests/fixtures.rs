@@ -25,12 +25,16 @@ fn violations_fixture_exact_counts() {
     assert_eq!(count(&r, Lint::HashIteration), 1);
     // One bare unwrap, plus one whose waiver lacks a justification.
     assert_eq!(count(&r, Lint::Panic), 2);
-    assert_eq!(count(&r, Lint::MissingDocs), 1);
+    // `undocumented`, plus `mangled_doc` (its doc line degraded to code).
+    assert_eq!(count(&r, Lint::MissingDocs), 2);
     assert_eq!(count(&r, Lint::AsCast), 1);
     assert_eq!(count(&r, Lint::FloatCmp), 1);
+    // The `/ so the doc-slash lint…` line beside a `///`; the division
+    // continuation in `ratio` must NOT count.
+    assert_eq!(count(&r, Lint::DocSlash), 1);
     // The justification-less waiver and the unknown-lint waiver.
     assert_eq!(count(&r, Lint::Waiver), 2);
-    assert_eq!(r.violations.len(), 10);
+    assert_eq!(r.violations.len(), 12);
     assert_eq!(r.waived, 0);
     assert!(!r.clean());
 }
@@ -55,6 +59,7 @@ fn violations_fixture_locations() {
             ("crates/core/src/lib.rs", 29)
         ]
     );
+    assert_eq!(at(Lint::DocSlash), [("crates/core/src/lib.rs", 38)]);
 }
 
 #[test]
@@ -103,12 +108,13 @@ fn json_report_shape() {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }
     // Every violation entry carries the four fields.
-    assert_eq!(json.matches("\"lint\": ").count(), 10);
-    assert_eq!(json.matches("\"file\": ").count(), 10);
-    assert_eq!(json.matches("\"line\": ").count(), 10);
-    assert_eq!(json.matches("\"message\": ").count(), 10);
+    assert_eq!(json.matches("\"lint\": ").count(), 12);
+    assert_eq!(json.matches("\"file\": ").count(), 12);
+    assert_eq!(json.matches("\"line\": ").count(), 12);
+    assert_eq!(json.matches("\"message\": ").count(), 12);
     assert!(json.contains("\"lint\": \"wall-clock\""));
-    assert!(json.contains("\"anu-core\": {\"documented\": 7, \"total\": 8"));
+    assert!(json.contains("\"lint\": \"doc-slash\""));
+    assert!(json.contains("\"anu-core\": {\"documented\": 8, \"total\": 10"));
     // Balanced braces/brackets (the report is hand-rendered, not serde).
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     assert_eq!(json.matches('[').count(), json.matches(']').count());

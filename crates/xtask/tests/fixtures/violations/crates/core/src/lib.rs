@@ -33,3 +33,13 @@ pub fn badly_waived(x: Option<u32>) -> u32 {
 pub fn unknown_waiver() {
     // anu-lint: allow(nonsense) -- not a lint name
 }
+
+/// Documented, except the continuation below lost two slashes,
+/ so the doc-slash lint flags it as a mangled doc line.
+pub fn mangled_doc() {}
+
+/// Long division split across lines is not a doc line.
+pub fn ratio(a: f64, d: f64, e: f64) -> f64 {
+    a / d
+        / e
+}

@@ -45,6 +45,7 @@ fn main() {
                 server: s,
                 mean_latency_ms: if s.0 == 0 { 600.0 } else { 90.0 },
                 requests: 250,
+                age_ticks: 0,
             })
             .collect();
         match tuner.plan(&map.share_fractions(), &reports) {

@@ -55,6 +55,7 @@ fn main() {
                 server: s,
                 mean_latency_ms: model_latency(l, capacities[s.0 as usize]),
                 requests: (l * 100.0) as u64,
+                age_ticks: 0,
             })
             .collect();
         let worst = reports

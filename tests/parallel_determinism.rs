@@ -7,8 +7,9 @@
 //! enumeration time, outcomes are slotted by task id).
 
 use anu::harness::{
-    checks_for, figure, reduced, run_grid, run_grid_traced, write_figure_csvs_tagged,
-    write_tuner_epochs_csv, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
+    chaos_experiment, chaos_rows, checks_for, figure, reduced, run_grid, run_grid_traced,
+    write_chaos_summary_csv, write_figure_csvs_tagged, write_tuner_epochs_csv, FIGURE_NUMBERS,
+    PLAIN_ANU_LABEL,
 };
 use anu::trace::TraceLevel;
 
@@ -88,6 +89,94 @@ fn serial_and_parallel_runs_are_byte_identical() {
     assert_eq!(
         verdicts[0], verdicts[1],
         "shape-check verdicts differ between jobs=1 and jobs=4"
+    );
+
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+/// The chaos extension of the guarantee: a fault-injected sweep — where
+/// failures drain queues, migrations retarget mid-flight and the auditor
+/// runs at every boundary — still produces byte-identical series CSVs, a
+/// byte-identical `chaos_summary.csv` and identical epoch-level traces at
+/// any worker count. One intensity level keeps the test CI-speed; the
+/// engine treats levels as independent grid rows, so one row is
+/// representative.
+#[test]
+fn chaos_outputs_are_byte_identical_across_jobs() {
+    let exps = vec![chaos_experiment(1.0, SEED)];
+    assert!(
+        !exps[0].cluster.faults.is_empty(),
+        "intensity 1.0 compiles a non-empty fault script"
+    );
+
+    let tmp = std::env::temp_dir().join("anu_chaos_determinism");
+    std::fs::remove_dir_all(&tmp).ok();
+
+    let mut csvs: Vec<CsvSet> = Vec::new();
+    let mut traces: Vec<Vec<Vec<String>>> = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = tmp.join(format!("jobs{jobs}"));
+        let outcomes = run_grid_traced(&exps, jobs, TraceLevel::Epoch);
+
+        let mut grouped: Vec<Vec<anu::cluster::RunResult>> = vec![Vec::new(); exps.len()];
+        let mut run_traces = Vec::new();
+        for o in outcomes {
+            run_traces.push(o.trace_lines);
+            grouped[o.task.experiment].push(o.result);
+        }
+
+        let mut run_csvs = Vec::new();
+        for (exp, results) in exps.iter().zip(&grouped) {
+            // Every run survived the storm with a clean audit — a chaos
+            // sweep that only reproduces bytes of a corrupted world would
+            // prove nothing.
+            for r in results {
+                assert!(r.summary.audit_checks > 0, "{}: auditor armed", r.policy);
+                assert_eq!(r.summary.audit_violations, 0, "{}: clean audit", r.policy);
+            }
+            let paths =
+                write_figure_csvs_tagged(&exp.name, None, results, &dir).expect("write CSVs");
+            for p in paths {
+                let bytes = std::fs::read(&p).expect("read back CSV");
+                run_csvs.push((
+                    p.strip_prefix(&dir).expect("under dir").to_path_buf(),
+                    bytes,
+                ));
+            }
+        }
+        let rows = chaos_rows(&[1.0], &exps, &grouped);
+        let p = write_chaos_summary_csv(&rows, &dir).expect("write chaos summary");
+        run_csvs.push((
+            p.strip_prefix(&dir).expect("under dir").to_path_buf(),
+            std::fs::read(&p).expect("read back summary"),
+        ));
+        csvs.push(run_csvs);
+        traces.push(run_traces);
+    }
+
+    assert_eq!(csvs[0].len(), csvs[1].len(), "same CSV file count");
+    for ((name_s, bytes_s), (name_p, bytes_p)) in csvs[0].iter().zip(&csvs[1]) {
+        assert_eq!(name_s, name_p, "same CSV names in the same order");
+        assert_eq!(
+            bytes_s,
+            bytes_p,
+            "chaos CSV {} differs between jobs=1 and jobs=4",
+            name_s.display()
+        );
+    }
+    assert_eq!(traces[0].len(), traces[1].len(), "same task count");
+    for (i, (a, b)) in traces[0].iter().zip(&traces[1]).enumerate() {
+        assert_eq!(
+            a, b,
+            "task {i} chaos trace differs between jobs=1 and jobs=4"
+        );
+    }
+    // Faults actually appear in the traces (the storm was not a no-op).
+    assert!(
+        traces[0].iter().any(|t| t
+            .iter()
+            .any(|l| l.contains("\"fault\"") || l.contains("\"recover\""))),
+        "epoch traces record fault events"
     );
 
     std::fs::remove_dir_all(&tmp).ok();
