@@ -21,14 +21,15 @@
 //! that: operations completed and SAN utilization per policy — the numbers
 //! behind the claim that metadata balance buys *data-path* throughput.
 
+use crate::dense::Interner;
 use crate::policy::{Assignment, ClusterView, PlacementPolicy};
 use crate::spec::ClusterConfig;
-use anu_core::{FileSetId, LoadReport, ServerId};
+use anu_core::{FileSetId, LoadReport};
 use anu_des::{
-    Calendar, FifoStation, IntervalStats, Job, RngStream, SimDuration, SimTime, StartService,
+    AliasTable, Calendar, FifoStation, IntervalStats, Job, RngStream, SimDuration, SimTime,
+    StartService,
 };
 use anu_trace::{NullSink, TraceEvent, TraceLevel, TraceSink, Tracer};
-use std::collections::BTreeMap;
 
 /// Closed-loop experiment configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -96,25 +97,32 @@ pub struct ClosedLoopResult {
     pub migrations: u64,
 }
 
+/// Events of the closed loop. Server payloads are dense indices into the
+/// interned server table; file-set payloads are the raw set number
+/// (closed-loop sets are always contiguous `0..n`, so index == id).
 #[derive(Clone, Copy, Debug)]
 enum Event {
     /// Client issues its next metadata request.
     Issue(u32),
-    /// A metadata server completes its in-service request.
-    Complete(ServerId),
+    /// A metadata server (dense index) completes its in-service request.
+    Complete(u32),
     /// A client's SAN transfer finishes.
     DataDone(u32),
     /// Tuning tick.
     Tick,
-    /// A file-set migration lands.
-    MigrationDone(FileSetId),
+    /// A file-set (index) migration lands.
+    MigrationDone(u32),
 }
 
 struct Server {
     speed: f64,
-    station: FifoStation<(u32, FileSetId)>,
+    station: FifoStation<(u32, u32)>,
     interval: IntervalStats,
 }
+
+/// In-flight migration: destination server (dense index) plus the clients
+/// blocked waiting for the set to land, with their original issue times.
+type InFlight = Option<(u32, Vec<(u32, SimTime)>)>;
 
 /// Run the closed-loop experiment under `policy`.
 pub fn run_closed_loop(
@@ -146,37 +154,44 @@ pub fn run_closed_loop_traced(
         assert_eq!(cfg.weights.len(), cfg.n_file_sets);
         cfg.weights.clone()
     };
-    let cdf: Vec<f64> = weights
-        .iter()
-        .scan(0.0, |acc, w| {
-            *acc += w;
-            Some(*acc)
-        })
-        .collect();
+    // O(1) weighted file-set selection per issue, regardless of set count.
+    let sampler = AliasTable::new(&weights);
 
     let mut cal: Calendar<Event> = Calendar::new();
-    let mut servers: BTreeMap<ServerId, Server> = cluster
-        .servers
-        .iter()
-        .map(|s| {
-            (
-                s.id,
-                Server {
-                    speed: s.speed,
-                    station: FifoStation::new(),
-                    interval: IntervalStats::new(),
-                },
-            )
-        })
-        .collect();
+    // Dense server table: one Vec index per interned id, no ordered-map
+    // lookups on the per-event path.
+    let server_ids = Interner::new(cluster.servers.iter().map(|s| s.id).collect());
+    let mut servers: Vec<Server> = {
+        let mut speeds = vec![0.0; server_ids.len()];
+        for s in &cluster.servers {
+            speeds[server_ids.index(s.id)] = s.speed;
+        }
+        speeds
+            .into_iter()
+            .map(|speed| Server {
+                speed,
+                station: FifoStation::new(),
+                interval: IntervalStats::new(),
+            })
+            .collect()
+    };
 
     let file_sets: Vec<FileSetId> = (0..cfg.n_file_sets as u64).map(FileSetId).collect();
     let view = ClusterView {
         servers: cluster.servers.iter().map(|s| (s.id, true)).collect(),
         now: SimTime::ZERO,
     };
-    let mut assignment: Assignment = policy.initial(&view, &file_sets);
-    let mut migrating: BTreeMap<FileSetId, (ServerId, Vec<(u32, SimTime)>)> = BTreeMap::new();
+    // Owner (dense server index) per file set; sets are contiguous 0..n.
+    let initial = policy.initial(&view, &file_sets);
+    let mut assignment: Vec<u32> = file_sets
+        .iter()
+        .map(|fs| {
+            // anu-lint: allow(panic) -- every file set is assigned at setup and on migration
+            server_ids.index(*initial.get(fs).expect("assigned")) as u32
+        })
+        .collect();
+    // In-flight migration per file set: destination index + blocked clients.
+    let mut migrating: Vec<InFlight> = (0..cfg.n_file_sets).map(|_| None).collect();
 
     // Per-client state: when the current cycle's metadata request was
     // issued (for end-to-end latency).
@@ -205,9 +220,9 @@ pub fn run_closed_loop_traced(
         }
         match ev {
             Event::Issue(c) => {
-                let fs = FileSetId(rng.discrete_cdf(&cdf) as u64);
+                let fs = sampler.sample(&mut rng) as u32;
                 issue_time[c as usize] = now;
-                if let Some((_, waiters)) = migrating.get_mut(&fs) {
+                if let Some((_, waiters)) = migrating[fs as usize].as_mut() {
                     waiters.push((c, now));
                     if tracer.enabled(TraceLevel::Request) {
                         tracer.emit(
@@ -215,28 +230,26 @@ pub fn run_closed_loop_traced(
                             now,
                             &TraceEvent::RequestArrival {
                                 server: None,
-                                set: fs.0,
+                                set: u64::from(fs),
                                 buffered: true,
                             },
                         );
                     }
                     continue;
                 }
-                // anu-lint: allow(panic) -- every file set is assigned at setup and on migration
-                let sid = *assignment.get(&fs).expect("assigned");
+                let sidx = assignment[fs as usize];
                 if tracer.enabled(TraceLevel::Request) {
                     tracer.emit(
                         TraceLevel::Request,
                         now,
                         &TraceEvent::RequestArrival {
-                            server: Some(sid.0),
-                            set: fs.0,
+                            server: Some(server_ids.get(sidx as usize).0),
+                            set: u64::from(fs),
                             buffered: false,
                         },
                     );
                 }
-                // anu-lint: allow(panic) -- assignments only ever point at live servers
-                let server = servers.get_mut(&sid).expect("known");
+                let server = &mut servers[sidx as usize];
                 let service = SimDuration::from_secs_f64(
                     rng.exponential(1.0 / cfg.metadata_cost.as_secs_f64()) / server.speed,
                 );
@@ -246,15 +259,14 @@ pub fn run_closed_loop_traced(
                     meta: (c, fs),
                 };
                 if let StartService::At(t) = server.station.arrive(now, job) {
-                    cal.schedule(t, Event::Complete(sid));
+                    cal.schedule(t, Event::Complete(sidx));
                 }
             }
-            Event::Complete(sid) => {
-                // anu-lint: allow(panic) -- Complete events carry ids of live servers
-                let server = servers.get_mut(&sid).expect("known");
+            Event::Complete(sidx) => {
+                let server = &mut servers[sidx as usize];
                 let (job, next) = server.station.complete(now);
                 if let Some(t) = next {
-                    cal.schedule(t, Event::Complete(sid));
+                    cal.schedule(t, Event::Complete(sidx));
                 }
                 let (c, _fs) = job.meta;
                 let md_latency = now.since(job.arrival);
@@ -266,8 +278,8 @@ pub fn run_closed_loop_traced(
                         TraceLevel::Request,
                         now,
                         &TraceEvent::RequestComplete {
-                            server: sid.0,
-                            set: _fs.0,
+                            server: server_ids.get(sidx as usize).0,
+                            set: u64::from(_fs),
                             latency_us: md_latency.0,
                             depth,
                         },
@@ -290,10 +302,11 @@ pub fn run_closed_loop_traced(
             Event::Tick => {
                 let reports: Vec<LoadReport> = servers
                     .iter_mut()
-                    .map(|(&s, st)| {
+                    .enumerate()
+                    .map(|(i, st)| {
                         let (mean_ms, count) = st.interval.take();
                         LoadReport {
-                            server: s,
+                            server: server_ids.get(i),
                             mean_latency_ms: mean_ms,
                             requests: count,
                             age_ticks: 0,
@@ -301,17 +314,26 @@ pub fn run_closed_loop_traced(
                     })
                     .collect();
                 let view = ClusterView {
-                    servers: servers.keys().map(|&s| (s, true)).collect(),
+                    servers: server_ids.ids().iter().map(|&s| (s, true)).collect(),
                     now,
                 };
+                // Policy boundary: rebuild the ordered map the trait
+                // expects from the dense table (per tick, not per event).
+                let assignment_map: Assignment = assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (FileSetId(i as u64), server_ids.get(s as usize)))
+                    .collect();
                 tracer.emit(TraceLevel::Epoch, now, &TraceEvent::EpochBegin { epoch });
                 let mut move_count = 0u64;
-                for mv in policy.on_tick(&view, &reports, &assignment) {
-                    if migrating.contains_key(&mv.set) || assignment.get(&mv.set) == Some(&mv.to) {
+                for mv in policy.on_tick(&view, &reports, &assignment_map) {
+                    let fi = mv.set.0 as usize;
+                    let to = server_ids.index(mv.to) as u32;
+                    if migrating[fi].is_some() || assignment[fi] == to {
                         continue;
                     }
                     if tracer.enabled(TraceLevel::Epoch) {
-                        let from = assignment.get(&mv.set).map(|s| s.0);
+                        let from = Some(server_ids.get(assignment[fi] as usize).0);
                         tracer.emit(
                             TraceLevel::Epoch,
                             now,
@@ -331,10 +353,10 @@ pub fn run_closed_loop_traced(
                             },
                         );
                     }
-                    migrating.insert(mv.set, (mv.to, Vec::new()));
+                    migrating[fi] = Some((to, Vec::new()));
                     cal.schedule(
                         now + cluster.migration.total(),
-                        Event::MigrationDone(mv.set),
+                        Event::MigrationDone(fi as u32),
                     );
                     migrations += 1;
                     move_count += 1;
@@ -355,22 +377,21 @@ pub fn run_closed_loop_traced(
             }
             Event::MigrationDone(fs) => {
                 // anu-lint: allow(panic) -- MigrationDone is scheduled only when the entry is inserted
-                let (to, waiters) = migrating.remove(&fs).expect("migration exists");
-                assignment.insert(fs, to);
+                let (to, waiters) = migrating[fs as usize].take().expect("migration exists");
+                assignment[fs as usize] = to;
                 tracer.emit(
                     TraceLevel::Epoch,
                     now,
                     &TraceEvent::MigrationFinish {
-                        set: fs.0,
-                        to: to.0,
+                        set: u64::from(fs),
+                        to: server_ids.get(to as usize).0,
                         buffered: waiters.len() as u64,
                     },
                 );
                 for (c, issued) in waiters {
                     // Re-issue the blocked request at the new owner,
                     // preserving the original issue time for latency.
-                    // anu-lint: allow(panic) -- migration targets are live servers
-                    let server = servers.get_mut(&to).expect("known");
+                    let server = &mut servers[to as usize];
                     let service = SimDuration::from_secs_f64(
                         rng.exponential(1.0 / cfg.metadata_cost.as_secs_f64()) / server.speed,
                     );
@@ -412,6 +433,7 @@ pub fn run_closed_loop_traced(
 mod tests {
     use super::*;
     use crate::policy::MoveSet;
+    use anu_core::ServerId;
 
     struct Modulo;
     impl PlacementPolicy for Modulo {

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod closed_loop;
+mod dense;
 pub mod faults;
 pub mod metrics;
 pub mod policy;

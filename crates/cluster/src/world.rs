@@ -8,6 +8,7 @@
 //! destination starts with a cold cache. Failures drain a server's queue
 //! and re-home its file sets after a failover delay.
 
+use crate::dense::Interner;
 use crate::metrics::{late_imbalance, late_mean, EpochRecord, RunResult, RunSummary};
 use crate::policy::{Assignment, ClusterView, MoveSet, PlacementPolicy};
 use crate::spec::{ClusterConfig, FaultEvent};
@@ -20,28 +21,32 @@ use anu_trace::{LogHistogram, NullSink, TraceEvent, TraceLevel, TraceSink, Trace
 use anu_workload::Workload;
 use std::collections::BTreeMap;
 
-/// Events of the cluster simulation.
+/// Events of the cluster simulation. Server and file-set payloads are
+/// *dense indices* into the world's interned tables, not raw ids: the
+/// hot loop never touches an ordered map. Trace emission maps indices
+/// back to raw ids, so trace event ids are unchanged.
 #[derive(Clone, Copy, Debug)]
 enum Event {
     /// The `i`-th request of the workload arrives.
     Arrival(u32),
-    /// The in-service job at a server completes.
-    Complete(ServerId),
+    /// The in-service job at a server (dense index) completes.
+    Complete(u32),
     /// Delegate tuning tick.
     Tick,
-    /// A file-set migration finishes at its destination.
-    MigrationDone(FileSetId),
+    /// A file-set (dense index) migration finishes at its destination.
+    MigrationDone(u32),
     /// The `i`-th configured fault fires.
     Fault(u32),
-    /// A limping server's slowdown lifts.
-    SlowdownEnd(ServerId),
+    /// A limping server's (dense index) slowdown lifts.
+    SlowdownEnd(u32),
 }
 
-/// Job metadata: which set the request targets, and the raw (speed-1)
-/// service demand so a drained job can be re-costed on its new server.
+/// Job metadata: which set (dense index) the request targets, and the raw
+/// (speed-1) service demand so a drained job can be re-costed on its new
+/// server.
 #[derive(Clone, Copy, Debug)]
 struct JobInfo {
-    set: FileSetId,
+    set: u32,
     cost: SimDuration,
 }
 
@@ -53,9 +58,10 @@ struct ServerState {
     series: TimeSeries,
     all: OnlineStats,
     completed: u64,
-    /// Requests served per file set since that set was acquired — drives
-    /// the cold-cache factor.
-    warmth: BTreeMap<FileSetId, u32>,
+    /// Requests served per file set (dense index) since that set was
+    /// acquired — drives the cold-cache factor. Zero means "not warmed",
+    /// exactly the absent-key reading of the old map.
+    warmth: Vec<u32>,
     /// The pending completion event for the in-service job, so a failure
     /// that drains the station can cancel it (otherwise the stale event
     /// would fire against an idle — or worse, re-busy — station).
@@ -93,18 +99,34 @@ struct RebalanceClock {
 }
 
 struct Migration {
-    to: ServerId,
+    /// Destination server (dense index).
+    to: u32,
     /// Requests that arrived while the set was in flight: `(arrival, cost)`.
     buffered: Vec<(SimTime, SimDuration)>,
 }
 
+/// The simulation state, dense-indexed on the per-event path.
+///
+/// Server and file-set universes are fixed at setup, interned in sorted
+/// order, and every per-event structure (server table, routing
+/// assignment, in-flight migrations, per-server/per-set accumulators) is
+/// a `Vec` indexed by the dense id. `BTreeMap`s appear only at the
+/// policy/report boundaries (`planning_assignment`, `view`, result
+/// assembly), rebuilt per tick — and since dense index order equals
+/// sorted id order, every boundary iteration yields the exact sequence
+/// the old map-keyed world produced, byte for byte.
 struct World<'a> {
     cfg: &'a ClusterConfig,
     workload: &'a Workload,
     cal: Calendar<Event>,
-    servers: BTreeMap<ServerId, ServerState>,
-    assignment: Assignment,
-    migrations: BTreeMap<FileSetId, Migration>,
+    server_ids: Interner<ServerId>,
+    set_ids: Interner<FileSetId>,
+    servers: Vec<ServerState>,
+    /// Owning server (dense index) per file set (dense index); `None`
+    /// while orphaned by a failure.
+    assignment: Vec<Option<u32>>,
+    /// In-flight migration per file set (dense index).
+    migrations: Vec<Option<Migration>>,
     horizon: SimTime,
     migration_count: u64,
     max_latency_ms: f64,
@@ -143,11 +165,9 @@ struct World<'a> {
     rebalance_clocks: Vec<RebalanceClock>,
     /// Completed failure→fully-re-homed durations, in seconds.
     rebalance_secs: Vec<f64>,
-    /// In-flight orphaned set → index of the clock it closes.
-    orphan_fault: BTreeMap<FileSetId, usize>,
-    /// Every file set the workload touches — the coverage universe the
-    /// auditor checks.
-    file_sets: Vec<FileSetId>,
+    /// Per file set (dense index): the rebalance clock an in-flight
+    /// orphaned set closes on landing.
+    orphan_fault: Vec<Option<u32>>,
     /// The invariant auditor arms only for chaos runs (non-empty fault
     /// script), so fault-free runs pay nothing at tick boundaries.
     auditing: bool,
@@ -160,19 +180,27 @@ struct World<'a> {
 impl<'a> World<'a> {
     fn view(&self) -> ClusterView {
         ClusterView {
-            servers: self.servers.iter().map(|(&s, st)| (s, st.alive)).collect(),
+            servers: self
+                .servers
+                .iter()
+                .enumerate()
+                .map(|(i, st)| (self.server_ids.get(i), st.alive))
+                .collect(),
             now: self.cal.now(),
         }
     }
 
-    fn enqueue(&mut self, server: ServerId, arrival: SimTime, set: FileSetId, cost: SimDuration) {
+    fn enqueue(&mut self, server: u32, arrival: SimTime, set: u32, cost: SimDuration) {
         let now = self.cal.now();
-        // anu-lint: allow(panic) -- routing only targets servers registered at setup
-        let st = self.servers.get_mut(&server).expect("known server");
-        debug_assert!(st.alive, "routing to dead server {server}");
-        let served = *st.warmth.get(&set).unwrap_or(&0);
+        let st = &mut self.servers[server as usize];
+        debug_assert!(
+            st.alive,
+            "routing to dead server {}",
+            self.server_ids.get(server as usize)
+        );
+        let served = st.warmth[set as usize];
         let factor = self.cfg.cold_cache.factor(served);
-        *st.warmth.entry(set).or_insert(0) += 1;
+        st.warmth[set as usize] += 1;
         let service =
             SimDuration::from_secs_f64(cost.as_secs_f64() / st.speed * factor * st.slow_factor);
         let job = Job {
@@ -188,7 +216,7 @@ impl<'a> World<'a> {
                 TraceLevel::Request,
                 now,
                 &TraceEvent::QueueDepth {
-                    server: server.0,
+                    server: self.server_ids.get(server as usize).0,
                     depth,
                 },
             );
@@ -197,8 +225,8 @@ impl<'a> World<'a> {
                     TraceLevel::Request,
                     now,
                     &TraceEvent::RequestDispatch {
-                        server: server.0,
-                        set: set.0,
+                        server: self.server_ids.get(server as usize).0,
+                        set: self.set_ids.get(set as usize).0,
                         wait_us: now.since(arrival).0,
                     },
                 );
@@ -206,11 +234,7 @@ impl<'a> World<'a> {
         }
         if let StartService::At(t) = started {
             let h = self.cal.schedule(t, Event::Complete(server));
-            self.servers
-                .get_mut(&server)
-                // anu-lint: allow(panic) -- the same lookup succeeded at the top of enqueue
-                .expect("known server")
-                .completion = Some(h);
+            self.servers[server as usize].completion = Some(h);
         }
     }
 
@@ -222,7 +246,8 @@ impl<'a> World<'a> {
         }
         self.arrived += 1;
         let req = self.workload.requests[idx as usize];
-        if let Some(m) = self.migrations.get_mut(&req.file_set) {
+        let set = self.set_ids.index(req.file_set) as u32;
+        if let Some(m) = self.migrations[set as usize].as_mut() {
             m.buffered.push((req.arrival, req.cost));
             if self.tracer.enabled(TraceLevel::Request) {
                 self.tracer.emit(
@@ -237,9 +262,7 @@ impl<'a> World<'a> {
             }
             return;
         }
-        let server = *self
-            .assignment
-            .get(&req.file_set)
+        let server = self.assignment[set as usize]
             // anu-lint: allow(panic) -- setup assigns every file set before the run starts
             .expect("every file set is assigned");
         if self.tracer.enabled(TraceLevel::Request) {
@@ -247,19 +270,18 @@ impl<'a> World<'a> {
                 TraceLevel::Request,
                 req.arrival,
                 &TraceEvent::RequestArrival {
-                    server: Some(server.0),
+                    server: Some(self.server_ids.get(server as usize).0),
                     set: req.file_set.0,
                     buffered: false,
                 },
             );
         }
-        self.enqueue(server, req.arrival, req.file_set, req.cost);
+        self.enqueue(server, req.arrival, set, req.cost);
     }
 
-    fn handle_complete(&mut self, server: ServerId) {
+    fn handle_complete(&mut self, server: u32) {
         let now = self.cal.now();
-        // anu-lint: allow(panic) -- Complete events carry ids of registered servers
-        let st = self.servers.get_mut(&server).expect("known server");
+        let st = &mut self.servers[server as usize];
         let (job, next) = st.station.complete(now);
         let latency = now.since(job.arrival);
         st.interval.record(latency);
@@ -277,13 +299,13 @@ impl<'a> World<'a> {
             let dispatched = st
                 .station
                 .in_service()
-                .map(|j| (j.meta.set.0, now.since(j.arrival).0));
+                .map(|j| (j.meta.set, now.since(j.arrival).0));
             self.tracer.emit(
                 TraceLevel::Request,
                 now,
                 &TraceEvent::RequestComplete {
-                    server: server.0,
-                    set: job.meta.set.0,
+                    server: self.server_ids.get(server as usize).0,
+                    set: self.set_ids.get(job.meta.set as usize).0,
                     latency_us: latency.0,
                     depth,
                 },
@@ -293,16 +315,14 @@ impl<'a> World<'a> {
                     TraceLevel::Request,
                     now,
                     &TraceEvent::RequestDispatch {
-                        server: server.0,
-                        set,
+                        server: self.server_ids.get(server as usize).0,
+                        set: self.set_ids.get(set as usize).0,
                         wait_us,
                     },
                 );
             }
         }
-        // anu-lint: allow(panic) -- same map, same key as the lookup above
-        let st = self.servers.get_mut(&server).expect("known server");
-        st.completion = match next {
+        self.servers[server as usize].completion = match next {
             Some(t) => Some(self.cal.schedule(t, Event::Complete(server))),
             None => None,
         };
@@ -310,9 +330,8 @@ impl<'a> World<'a> {
 
     /// Update `server`'s capacity fraction, integrating the lost capacity
     /// accrued at the old fraction since the last transition.
-    fn set_capacity(&mut self, server: ServerId, now: SimTime, frac: f64) {
-        // anu-lint: allow(panic) -- capacity transitions target servers registered at setup
-        let st = self.servers.get_mut(&server).expect("known server");
+    fn set_capacity(&mut self, server: u32, now: SimTime, frac: f64) {
+        let st = &mut self.servers[server as usize];
         self.degraded_capacity_secs += (1.0 - st.cap_frac) * now.since(st.cap_since).as_secs_f64();
         st.cap_frac = frac;
         st.cap_since = now;
@@ -320,7 +339,8 @@ impl<'a> World<'a> {
 
     fn collect_reports(&mut self) -> Vec<LoadReport> {
         let mut reports = Vec::new();
-        for (&s, st) in self.servers.iter_mut() {
+        for (i, st) in self.servers.iter_mut().enumerate() {
+            let s = self.server_ids.get(i);
             if !st.alive {
                 // A dead server transmits nothing; pending report faults
                 // are moot once the server itself is down.
@@ -362,33 +382,52 @@ impl<'a> World<'a> {
     /// the set lands misplaced until the next planned epoch (the
     /// invariant auditor flags exactly that).
     fn planning_assignment(&self) -> Assignment {
-        let mut a = self.assignment.clone();
-        for (&set, m) in &self.migrations {
-            a.insert(set, m.to);
+        let mut a = self.assignment_map();
+        for (i, m) in self.migrations.iter().enumerate() {
+            if let Some(m) = m {
+                a.insert(self.set_ids.get(i), self.server_ids.get(m.to as usize));
+            }
         }
         a
+    }
+
+    /// The routing assignment as an ordered map — the policy-facing
+    /// boundary type, rebuilt per tick from the dense table.
+    fn assignment_map(&self) -> Assignment {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (self.set_ids.get(i), self.server_ids.get(s as usize))))
+            .collect()
     }
 
     fn apply_moves(&mut self, moves: Vec<MoveSet>, delay: SimDuration, policy_name: &str) {
         let now = self.cal.now();
         for mv in moves {
+            let to = self
+                .server_ids
+                .try_index(mv.to)
+                .filter(|&i| self.servers[i].alive);
             assert!(
-                self.servers.get(&mv.to).is_some_and(|s| s.alive),
+                to.is_some(),
                 "{policy_name} moved {} to dead/unknown server {}",
                 mv.set,
                 mv.to
             );
-            if let Some(m) = self.migrations.get_mut(&mv.set) {
+            // anu-lint: allow(panic) -- asserted Some just above
+            let to = to.expect("alive destination") as u32;
+            let set = self.set_ids.index(mv.set);
+            if let Some(m) = self.migrations[set].as_mut() {
                 // Already in flight: honor the newest placement. A
                 // failure or recovery can re-partition the map while a
                 // set is mid-flush, and letting it land at the stale
                 // destination would leave it misplaced until the next
                 // planned epoch (the invariant auditor flags exactly
                 // that).
-                m.to = mv.to;
+                m.to = to;
                 continue;
             }
-            if self.assignment.get(&mv.set) == Some(&mv.to) {
+            if self.assignment[set] == Some(to) {
                 continue;
             }
             // The releasing server drops the set: its cache is flushed.
@@ -397,24 +436,26 @@ impl<'a> World<'a> {
             // divergent tuning compensates for) or, optionally, follow the
             // set to its new owner.
             let mut buffered = Vec::new();
-            let from = self.assignment.get(&mv.set).copied();
+            let from = self.assignment[set];
             if let Some(from) = from {
-                if let Some(st) = self.servers.get_mut(&from) {
-                    st.warmth.remove(&mv.set);
+                {
+                    let st = &mut self.servers[from as usize];
+                    st.warmth[set] = 0;
                     if self.cfg.migration.queued_follow {
-                        for job in st.station.remove_queued(|m| m.set == mv.set) {
+                        for job in st.station.remove_queued(|m| m.set as usize == set) {
                             buffered.push((job.arrival, job.meta.cost));
                         }
                     }
                 }
             }
             if self.tracer.enabled(TraceLevel::Epoch) {
+                let from_id = from.map(|s| self.server_ids.get(s as usize).0);
                 self.tracer.emit(
                     TraceLevel::Epoch,
                     now,
                     &TraceEvent::MigrationStart {
                         set: mv.set.0,
-                        from: from.map(|s| s.0),
+                        from: from_id,
                         to: mv.to.0,
                     },
                 );
@@ -426,54 +467,51 @@ impl<'a> World<'a> {
                     now,
                     &TraceEvent::MigrationFlush {
                         set: mv.set.0,
-                        from: from.map(|s| s.0),
+                        from: from_id,
                         done_us: (now + self.cfg.migration.flush).0,
                     },
                 );
             }
-            self.migrations.insert(
-                mv.set,
-                Migration {
-                    to: mv.to,
-                    buffered,
-                },
-            );
-            self.cal.schedule(now + delay, Event::MigrationDone(mv.set));
+            self.migrations[set] = Some(Migration { to, buffered });
+            self.cal
+                .schedule(now + delay, Event::MigrationDone(set as u32));
             self.migration_count += 1;
         }
     }
 
-    fn handle_migration_done(&mut self, set: FileSetId) {
-        // anu-lint: allow(panic) -- MigrationDone is scheduled only when the entry is inserted
-        let m = self.migrations.remove(&set).expect("migration exists");
+    fn handle_migration_done(&mut self, set: u32) {
+        let m = self.migrations[set as usize]
+            .take()
+            // anu-lint: allow(panic) -- MigrationDone is scheduled only when the entry is inserted
+            .expect("migration exists");
         // If the destination died while the set was in flight and no
         // retarget arrived, fall back to the releasing owner (still the
         // policy's placement for the set — its diff saw the set as
         // already home, so inventing any other owner would contradict
-        // the policy's map), then to the lowest-id alive server.
-        let to = if self.servers[&m.to].alive {
+        // the policy's map), then to the lowest-index alive server
+        // (= lowest-id: index order is sorted id order).
+        let to = if self.servers[m.to as usize].alive {
             m.to
         } else {
-            self.assignment
-                .get(&set)
-                .copied()
-                .filter(|s| self.servers[s].alive)
-                .unwrap_or_else(|| self.view().alive()[0])
+            self.assignment[set as usize]
+                .filter(|&s| self.servers[s as usize].alive)
+                .unwrap_or_else(|| {
+                    self.servers
+                        .iter()
+                        .position(|st| st.alive)
+                        // anu-lint: allow(panic) -- a cluster with zero alive servers has no valid placement
+                        .expect("an alive server") as u32
+                })
         };
-        self.assignment.insert(set, to);
+        self.assignment[set as usize] = Some(to);
         // Acquiring server starts with a cold cache.
-        self.servers
-            .get_mut(&to)
-            // anu-lint: allow(panic) -- migration destinations are checked alive on arrival
-            .expect("alive server")
-            .warmth
-            .insert(set, 0);
+        self.servers[to as usize].warmth[set as usize] = 0;
         self.tracer.emit(
             TraceLevel::Epoch,
             self.cal.now(),
             &TraceEvent::MigrationFinish {
-                set: set.0,
-                to: to.0,
+                set: self.set_ids.get(set as usize).0,
+                to: self.server_ids.get(to as usize).0,
                 buffered: m.buffered.len() as u64,
             },
         );
@@ -482,8 +520,8 @@ impl<'a> World<'a> {
         }
         // If this set was orphaned by a failure, its landing may close
         // that failure's rebalance clock.
-        if let Some(idx) = self.orphan_fault.remove(&set) {
-            let c = &mut self.rebalance_clocks[idx];
+        if let Some(idx) = self.orphan_fault[set as usize].take() {
+            let c = &mut self.rebalance_clocks[idx as usize];
             c.outstanding -= 1;
             if c.outstanding == 0 {
                 self.rebalance_secs
@@ -504,15 +542,16 @@ impl<'a> World<'a> {
         }
         self.audit_checks += 1;
         let mut violations: Vec<String> = Vec::new();
-        let completed: u64 = self.servers.values().map(|st| st.completed).sum();
+        let completed: u64 = self.servers.iter().map(|st| st.completed).sum();
         let queued: u64 = self
             .servers
-            .values()
+            .iter()
             .map(|st| st.station.population() as u64)
             .sum();
         let buffered: u64 = self
             .migrations
-            .values()
+            .iter()
+            .flatten()
             .map(|m| m.buffered.len() as u64)
             .sum();
         if completed + queued + buffered != self.arrived {
@@ -522,18 +561,34 @@ impl<'a> World<'a> {
                 self.arrived
             ));
         }
-        for (fs, s) in &self.assignment {
-            if !self.servers[s].alive {
-                violations.push(format!("{fs} assigned to dead {s}"));
+        // Dense index order is sorted id order, so violation order (and
+        // the trace bytes built from it) matches the map-keyed world.
+        for (i, owner) in self.assignment.iter().enumerate() {
+            if let Some(s) = owner {
+                if !self.servers[*s as usize].alive {
+                    violations.push(format!(
+                        "{} assigned to dead {}",
+                        self.set_ids.get(i),
+                        self.server_ids.get(*s as usize)
+                    ));
+                }
             }
         }
-        for fs in &self.file_sets {
-            if !self.assignment.contains_key(fs) && !self.migrations.contains_key(fs) {
-                violations.push(format!("{fs} neither assigned nor migrating"));
+        for i in 0..self.set_ids.len() {
+            if self.assignment[i].is_none() && self.migrations[i].is_none() {
+                violations.push(format!(
+                    "{} neither assigned nor migrating",
+                    self.set_ids.get(i)
+                ));
             }
         }
-        let in_flight: Vec<FileSetId> = self.migrations.keys().copied().collect();
-        violations.extend(policy.audit(&self.assignment, &in_flight));
+        let in_flight: Vec<FileSetId> = self
+            .migrations
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|_| self.set_ids.get(i)))
+            .collect();
+        violations.extend(policy.audit(&self.assignment_map(), &in_flight));
         if !violations.is_empty() {
             self.audit_violations += violations.len() as u64;
             let now = self.cal.now();
@@ -591,40 +646,46 @@ pub fn run_traced(
     let horizon = SimTime::ZERO + workload.duration();
     let series_len = workload.duration() + cfg.series_bucket;
 
+    // Intern the id universes up front; every per-event structure below
+    // is indexed by these dense ids.
+    let server_ids = Interner::new(cfg.servers.iter().map(|s| s.id).collect());
+    let set_ids = Interner::new(workload.file_sets());
+    let n_sets = set_ids.len();
+    let mut speeds = vec![0.0; server_ids.len()];
+    for s in &cfg.servers {
+        speeds[server_ids.index(s.id)] = s.speed;
+    }
+
     let mut world = World {
         cfg,
         workload,
         cal: Calendar::new(),
-        servers: cfg
-            .servers
+        servers: speeds
             .iter()
-            .map(|s| {
-                (
-                    s.id,
-                    ServerState {
-                        speed: s.speed,
-                        alive: true,
-                        station: FifoStation::new(),
-                        interval: IntervalStats::new(),
-                        series: TimeSeries::new(cfg.series_bucket, series_len),
-                        all: OnlineStats::new(),
-                        completed: 0,
-                        warmth: BTreeMap::new(),
-                        completion: None,
-                        slow_factor: 1.0,
-                        slow_end: None,
-                        lose_report: false,
-                        delay_report: false,
-                        held_report: None,
-                        down_since: None,
-                        cap_frac: 1.0,
-                        cap_since: SimTime::ZERO,
-                    },
-                )
+            .map(|&speed| ServerState {
+                speed,
+                alive: true,
+                station: FifoStation::new(),
+                interval: IntervalStats::new(),
+                series: TimeSeries::new(cfg.series_bucket, series_len),
+                all: OnlineStats::new(),
+                completed: 0,
+                warmth: vec![0; n_sets],
+                completion: None,
+                slow_factor: 1.0,
+                slow_end: None,
+                lose_report: false,
+                delay_report: false,
+                held_report: None,
+                down_since: None,
+                cap_frac: 1.0,
+                cap_since: SimTime::ZERO,
             })
             .collect(),
-        assignment: Assignment::new(),
-        migrations: BTreeMap::new(),
+        assignment: vec![None; n_sets],
+        migrations: (0..n_sets).map(|_| None).collect(),
+        server_ids,
+        set_ids,
         horizon,
         migration_count: 0,
         max_latency_ms: 0.0,
@@ -644,8 +705,7 @@ pub fn run_traced(
         unavailability_windows: 0,
         rebalance_clocks: Vec::new(),
         rebalance_secs: Vec::new(),
-        orphan_fault: BTreeMap::new(),
-        file_sets: Vec::new(),
+        orphan_fault: vec![None; n_sets],
         auditing: !cfg.faults.is_empty(),
         audit_checks: 0,
         audit_violations: 0,
@@ -654,25 +714,20 @@ pub fn run_traced(
     // Initial placement: every file set must land on an alive server.
     let file_sets = workload.file_sets();
     let view = world.view();
-    world.assignment = policy.initial(&view, &file_sets);
+    let initial = policy.initial(&view, &file_sets);
     for fs in &file_sets {
-        let s = world
-            .assignment
+        let s = *initial
             .get(fs)
             // anu-lint: allow(panic) -- a policy that skips a file set is a contract violation worth halting on
             .unwrap_or_else(|| panic!("{} left {fs} unassigned", policy.name()));
-        assert!(world.servers[s].alive);
+        let si = world.server_ids.index(s) as u32;
+        assert!(world.servers[si as usize].alive);
+        let fi = world.set_ids.index(*fs);
+        world.assignment[fi] = Some(si);
         // Initial placement starts warm: the system has been serving these
         // sets; the paper penalizes only post-move cold caches.
-        world
-            .servers
-            .get_mut(s)
-            // anu-lint: allow(panic) -- `s` was asserted alive (hence registered) just above
-            .expect("known")
-            .warmth
-            .insert(*fs, cfg.cold_cache.warm_after);
+        world.servers[si as usize].warmth[fi] = cfg.cold_cache.warm_after;
     }
-    world.file_sets = file_sets.clone();
 
     // Seed events: first arrival, first tick, faults.
     if !workload.requests.is_empty() {
@@ -724,8 +779,9 @@ pub fn run_traced(
                     let depths: Vec<(u32, u64)> = world
                         .servers
                         .iter()
+                        .enumerate()
                         .filter(|(_, st)| st.alive)
-                        .map(|(&s, st)| (s.0, st.station.population() as u64))
+                        .map(|(i, st)| (world.server_ids.get(i).0, st.station.population() as u64))
                         .collect();
                     for (server, depth) in depths {
                         world.tracer.emit(
@@ -758,8 +814,7 @@ pub fn run_traced(
                 }
             }
             Event::SlowdownEnd(server) => {
-                // anu-lint: allow(panic) -- slowdown-end events carry ids of registered servers
-                let st = world.servers.get_mut(&server).expect("known server");
+                let st = &mut world.servers[server as usize];
                 st.slow_factor = 1.0;
                 st.slow_end = None;
                 world.set_capacity(server, now, 1.0);
@@ -767,12 +822,14 @@ pub fn run_traced(
             Event::Fault(i) => {
                 match cfg.faults[i as usize] {
                     FaultEvent::Fail { server, .. } => {
-                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
-                        let st = world.servers.get_mut(&server).expect("known server");
+                        // Fault scripts are validated against the server
+                        // set, so interning the id always succeeds.
+                        let si = world.server_ids.index(server) as u32;
+                        let st = &mut world.servers[si as usize];
                         debug_assert!(st.alive, "double failure of {server}");
                         st.alive = false;
                         let drained = st.station.drain(now);
-                        st.warmth.clear();
+                        st.warmth.fill(0);
                         // The in-service job (if any) died with the server:
                         // its completion event must not fire. Likewise any
                         // pending slowdown end — the failure supersedes it.
@@ -785,7 +842,7 @@ pub fn run_traced(
                         st.slow_factor = 1.0;
                         st.down_since = Some(now);
                         world.unavailability_windows += 1;
-                        world.set_capacity(server, now, 0.0);
+                        world.set_capacity(si, now, 0.0);
                         world.tracer.emit(
                             TraceLevel::Epoch,
                             now,
@@ -798,30 +855,29 @@ pub fn run_traced(
                         let moves = policy.on_fail(&view, server, &world.planning_assignment());
                         world.apply_moves(moves, cfg.failover_delay, policy.name());
                         // Every orphaned set must now be in flight; queued
-                        // work follows its set to the new owner.
-                        let orphans: Vec<FileSetId> = world
-                            .assignment
-                            .iter()
-                            .filter(|&(_, &s)| s == server)
-                            .map(|(&fs, _)| fs)
+                        // work follows its set to the new owner. Dense
+                        // index order keeps the scan in sorted set order.
+                        let orphans: Vec<usize> = (0..world.set_ids.len())
+                            .filter(|&fi| world.assignment[fi] == Some(si))
                             .collect();
                         if !orphans.is_empty() {
-                            let idx = world.rebalance_clocks.len();
+                            let idx = world.rebalance_clocks.len() as u32;
                             world.rebalance_clocks.push(RebalanceClock {
                                 start: now,
                                 outstanding: orphans.len(),
                             });
-                            for fs in &orphans {
-                                world.orphan_fault.insert(*fs, idx);
+                            for &fi in &orphans {
+                                world.orphan_fault[fi] = Some(idx);
                             }
                         }
-                        for fs in orphans {
+                        for fi in orphans {
                             assert!(
-                                world.migrations.contains_key(&fs),
-                                "{} left orphan {fs} on failed {server}",
-                                policy.name()
+                                world.migrations[fi].is_some(),
+                                "{} left orphan {} on failed {server}",
+                                policy.name(),
+                                world.set_ids.get(fi)
                             );
-                            world.assignment.remove(&fs);
+                            world.assignment[fi] = None;
                         }
                         world.requests_requeued += drained.len() as u64;
                         for job in drained {
@@ -829,12 +885,10 @@ pub fn run_traced(
                             // in flight); a few may belong to sets that
                             // migrated away earlier but still had queued
                             // work here.
-                            if let Some(m) = world.migrations.get_mut(&job.meta.set) {
+                            if let Some(m) = world.migrations[job.meta.set as usize].as_mut() {
                                 m.buffered.push((job.arrival, job.meta.cost));
                             } else {
-                                let owner = *world
-                                    .assignment
-                                    .get(&job.meta.set)
+                                let owner = world.assignment[job.meta.set as usize]
                                     // anu-lint: allow(panic) -- failover re-assigns every set before requeueing
                                     .expect("set is assigned or migrating");
                                 world.enqueue(owner, job.arrival, job.meta.set, job.meta.cost);
@@ -842,14 +896,16 @@ pub fn run_traced(
                         }
                     }
                     FaultEvent::Recover { server, .. } => {
-                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
-                        let st = world.servers.get_mut(&server).expect("known server");
+                        // Fault scripts are validated against the server
+                        // set, so interning the id always succeeds.
+                        let si = world.server_ids.index(server) as u32;
+                        let st = &mut world.servers[si as usize];
                         debug_assert!(!st.alive, "recovery of alive {server}");
                         st.alive = true;
                         if let Some(d) = st.down_since.take() {
                             world.unavailable_secs += now.since(d).as_secs_f64();
                         }
-                        world.set_capacity(server, now, 1.0);
+                        world.set_capacity(si, now, 1.0);
                         world.tracer.emit(
                             TraceLevel::Epoch,
                             now,
@@ -866,8 +922,10 @@ pub fn run_traced(
                         lasts,
                         ..
                     } => {
-                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
-                        let st = world.servers.get_mut(&server).expect("known server");
+                        // Fault scripts are validated against the server
+                        // set, so interning the id always succeeds.
+                        let si = world.server_ids.index(server) as u32;
+                        let st = &mut world.servers[si as usize];
                         debug_assert!(st.alive, "slowdown of failed {server}");
                         // A newer slowdown replaces a pending one outright.
                         if let Some(h) = st.slow_end.take() {
@@ -875,14 +933,9 @@ pub fn run_traced(
                         }
                         st.slow_factor = factor;
                         let until = now + lasts;
-                        let h = world.cal.schedule(until, Event::SlowdownEnd(server));
-                        world
-                            .servers
-                            .get_mut(&server)
-                            // anu-lint: allow(panic) -- the same lookup succeeded just above
-                            .expect("known server")
-                            .slow_end = Some(h);
-                        world.set_capacity(server, now, 1.0 / factor);
+                        let h = world.cal.schedule(until, Event::SlowdownEnd(si));
+                        world.servers[si as usize].slow_end = Some(h);
+                        world.set_capacity(si, now, 1.0 / factor);
                         world.tracer.emit(
                             TraceLevel::Epoch,
                             now,
@@ -894,8 +947,7 @@ pub fn run_traced(
                         );
                     }
                     FaultEvent::ReportLoss { server, .. } => {
-                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
-                        let st = world.servers.get_mut(&server).expect("known server");
+                        let st = &mut world.servers[world.server_ids.index(server)];
                         debug_assert!(st.alive, "report fault on failed {server}");
                         st.lose_report = true;
                         world.tracer.emit(
@@ -908,8 +960,7 @@ pub fn run_traced(
                         );
                     }
                     FaultEvent::ReportDelay { server, .. } => {
-                        // anu-lint: allow(panic) -- fault scripts are validated against the server set
-                        let st = world.servers.get_mut(&server).expect("known server");
+                        let st = &mut world.servers[world.server_ids.index(server)];
                         debug_assert!(st.alive, "report fault on failed {server}");
                         st.delay_report = true;
                         world.tracer.emit(
@@ -943,10 +994,10 @@ pub fn run_traced(
         // production runs pay nothing: every offered request either
         // completed or is still in flight — and after a drained calendar,
         // in-flight must be zero.
-        let completed_total: u64 = world.servers.values().map(|st| st.completed).sum();
+        let completed_total: u64 = world.servers.iter().map(|st| st.completed).sum();
         let in_flight: u64 = world
             .servers
-            .values()
+            .iter()
             .map(|st| st.station.population() as u64)
             .sum();
         debug_assert_eq!(
@@ -969,7 +1020,7 @@ pub fn run_traced(
 
     // Close open availability windows: a server still dead (or limping)
     // at drain time accrues downtime/degradation up to the run's end.
-    for st in world.servers.values_mut() {
+    for st in world.servers.iter_mut() {
         world.degraded_capacity_secs +=
             (1.0 - st.cap_frac) * end_time.since(st.cap_since).as_secs_f64();
         st.cap_frac = 1.0;
@@ -987,7 +1038,8 @@ pub fn run_traced(
     let mut total_lat = OnlineStats::new();
     let end = world.cal.now().max(horizon);
     let mut completed = 0;
-    for (&s, st) in &world.servers {
+    for (i, st) in world.servers.iter().enumerate() {
+        let s = world.server_ids.get(i);
         series.insert(s, st.series.clone());
         per_server_mean_ms.insert(s, st.all.mean());
         per_server_requests.insert(s, st.completed);

@@ -6,11 +6,17 @@
 //! Cancellation is supported through tombstones (the handle marks the entry
 //! dead; the heap lazily discards dead entries on pop), which is O(1) and
 //! keeps the hot path allocation-free.
+//!
+//! Liveness is tracked in a bit vector indexed by sequence number: one bit
+//! test-and-clear per schedule/cancel/pop, instead of an ordered-set
+//! insert/remove on the per-event path. Sequence numbers are dense (they
+//! count up from zero), so the bitmap stays compact — one bit per event
+//! ever scheduled — and the pop order is exactly the `(time, seq)` total
+//! order regardless of the bookkeeping structure.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::binary_heap::BinaryHeap;
-use std::collections::BTreeSet;
 
 /// Handle to a scheduled event, usable to cancel it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -53,8 +59,11 @@ pub struct Calendar<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
-    /// Seqs scheduled and neither fired nor cancelled.
-    live: BTreeSet<u64>,
+    /// One liveness bit per seq ever assigned: set while the event is
+    /// scheduled and neither fired nor cancelled.
+    live: Vec<u64>,
+    /// Number of set bits in `live`.
+    live_count: usize,
     scheduled: u64,
     fired: u64,
 }
@@ -72,9 +81,25 @@ impl<E> Calendar<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            live: BTreeSet::new(),
+            live: Vec::new(),
+            live_count: 0,
             scheduled: 0,
             fired: 0,
+        }
+    }
+
+    /// Test-and-clear the liveness bit for `seq`. Returns whether it was
+    /// set (i.e. the event was still pending).
+    #[inline]
+    fn take_live(&mut self, seq: u64) -> bool {
+        let (word, bit) = (seq as usize / 64, seq % 64);
+        match self.live.get_mut(word) {
+            Some(w) if *w & (1 << bit) != 0 => {
+                *w &= !(1 << bit);
+                self.live_count -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -86,7 +111,7 @@ impl<E> Calendar<E> {
 
     /// Number of live events still pending.
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     /// Is the calendar exhausted?
@@ -110,7 +135,12 @@ impl<E> Calendar<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.live.insert(seq);
+        let word = seq as usize / 64;
+        if word >= self.live.len() {
+            self.live.resize(word + 1, 0);
+        }
+        self.live[word] |= 1 << (seq % 64);
+        self.live_count += 1;
         self.heap.push(Entry {
             time: at,
             seq,
@@ -123,13 +153,13 @@ impl<E> Calendar<E> {
     /// still pending (false if it already fired or was cancelled). The heap
     /// entry becomes a tombstone, lazily discarded on pop.
     pub fn cancel(&mut self, h: EventHandle) -> bool {
-        self.live.remove(&h.0)
+        self.take_live(h.0)
     }
 
     /// Pop the earliest live event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(e) = self.heap.pop() {
-            if !self.live.remove(&e.seq) {
+            if !self.take_live(e.seq) {
                 continue; // tombstoned by a cancel
             }
             debug_assert!(e.time >= self.now);
@@ -143,7 +173,8 @@ impl<E> Calendar<E> {
     /// Peek at the time of the earliest live event without popping.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(e) = self.heap.peek() {
-            if !self.live.contains(&e.seq) {
+            let (word, bit) = (e.seq as usize / 64, e.seq % 64);
+            if self.live.get(word).is_none_or(|w| w & (1 << bit) == 0) {
                 self.heap.pop();
                 continue;
             }

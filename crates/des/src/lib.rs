@@ -60,7 +60,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::{Calendar, EventHandle};
-pub use random::{task_seed, RngStream, Zipf};
+pub use random::{task_seed, AliasTable, RngStream, Zipf};
 pub use resource::{FifoStation, Job, StartService};
 pub use stats::{Bucket, IntervalStats, OnlineStats, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -4,7 +4,7 @@
 //! ```text
 //! figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR]
 //!         [--bench-out FILE] [--trace-out DIR] [--trace-level LVL]
-//!         [--series] [--plot] [--chaos]
+//!         [--series] [--plot] [--chaos] [--scale N] [--scale-bench N]
 //! ```
 //!
 //! The full {figure × policy × seed} grid is enumerated as independent
@@ -29,6 +29,16 @@
 //! lost requests, tuning resumes after re-election) count toward the exit
 //! code like the figure shape checks.
 //!
+//! Scale mode: `--scale N` multiplies every figure's file-set and request
+//! counts by `N` at constant offered load — a hot-path stress run over an
+//! `N`× larger id universe. Scaled workloads are non-canonical, so CSV
+//! emission and shape checks are skipped (completing the grid *is* the
+//! check). `--scale-bench N` additionally runs the trace-off fig6 grid at
+//! scale 1 (best of 3) and scale `N` on one worker, records both
+//! throughputs plus the recorded baseline into the manifest's `bench`
+//! section (schema v4), and prints the soft `PERF-GATE OK|WARN` verdict —
+//! informational only, never the exit code.
+//!
 //! Tracing: every figure additionally writes its per-epoch tuner telemetry
 //! to `<figure>_tuner_epochs.csv` in `--out`. `--trace-out DIR` records a
 //! structured JSONL trace of every task (one file per task) at
@@ -39,9 +49,9 @@
 use anu_harness::runner;
 use anu_harness::{
     chaos_checks, chaos_experiments, chaos_manifest, chaos_rows, checks_for, checks_table, figure,
-    measure_trace_overhead, reduced, series_table, sparklines, summary_table,
-    write_chaos_summary_csv, write_figure_csvs_tagged, write_tuner_epochs_csv, Experiment,
-    FigureVerdict, CHAOS_LEVELS, DEFAULT_SEED, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
+    figure_scaled, measure_trace_overhead, reduced, run_scale_bench, series_table, sparklines,
+    summary_table, write_chaos_summary_csv, write_figure_csvs_tagged, write_tuner_epochs_csv,
+    Experiment, FigureVerdict, CHAOS_LEVELS, DEFAULT_SEED, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
 };
 use anu_trace::TraceLevel;
 use std::path::PathBuf;
@@ -59,6 +69,8 @@ struct Args {
     series: bool,
     plot: bool,
     chaos: bool,
+    scale: u64,
+    scale_bench: u64,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +86,8 @@ fn parse_args() -> Args {
         series: false,
         plot: false,
         chaos: false,
+        scale: 1,
+        scale_bench: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -121,9 +135,22 @@ fn parse_args() -> Args {
             "--series" => args.series = true,
             "--plot" => args.plot = true,
             "--chaos" => args.chaos = true,
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 1)
+                    .expect("--scale needs a factor >= 1")
+            }
+            "--scale-bench" => {
+                args.scale_bench = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale-bench needs a factor (0 = disabled)")
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--trace-out DIR] [--trace-level off|epoch|request] [--series] [--plot] [--chaos]"
+                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--trace-out DIR] [--trace-level off|epoch|request] [--series] [--plot] [--chaos] [--scale N] [--scale-bench N]"
                 );
                 std::process::exit(0);
             }
@@ -150,14 +177,14 @@ struct Entry {
 /// figure 10, a checks-only "support" run of the fig10 no-heuristics
 /// policy is appended per seed, so the decomposition baseline comes from
 /// the same pooled sweep instead of a separate serial run.
-fn build_grid(figures: &[u32], seeds: &[u64]) -> (Vec<Experiment>, Vec<Entry>) {
+fn build_grid(figures: &[u32], seeds: &[u64], scale: u64) -> (Vec<Experiment>, Vec<Entry>) {
     let mut exps = Vec::new();
     let mut entries = Vec::new();
     let needs_support = figures.contains(&11) && !figures.contains(&10);
     for (si, &seed) in seeds.iter().enumerate() {
         let tag = (si > 0).then(|| format!("s{seed}"));
         for &n in figures {
-            let exp = figure(n, seed).unwrap_or_else(|| {
+            let exp = figure_scaled(n, seed, scale).unwrap_or_else(|| {
                 eprintln!("no figure {n}; the evaluation figures are 6..=11");
                 std::process::exit(2);
             });
@@ -214,8 +241,14 @@ fn main() {
         .map(|i| anu_des::task_seed(args.seed, i))
         .collect();
 
-    let (exps, entries) = build_grid(&figures, &seeds);
+    let (exps, entries) = build_grid(&figures, &seeds, args.scale);
     let jobs = runner::effective_jobs(args.jobs);
+    if args.scale > 1 {
+        println!(
+            "scale mode: {}x file sets and requests per figure; CSVs and shape checks are skipped (non-canonical workloads)",
+            args.scale
+        );
+    }
     // Trace recording is opt-in: without a destination the sweep runs at
     // the zero-cost Off level regardless of the requested verbosity.
     let trace_level = if args.trace_out.is_some() {
@@ -273,6 +306,13 @@ fn main() {
             for r in &results {
                 println!("{}", sparklines(r));
             }
+        }
+        if args.scale > 1 {
+            // Scaled workloads are non-canonical: the committed CSVs and
+            // the paper's shape claims only apply at scale 1. Finishing
+            // the grid is the scale-mode check.
+            println!("  SKIP: CSVs and shape checks (scale {}x)", args.scale);
+            continue;
         }
         let paths = write_figure_csvs_tagged(&exp.name, entry.tag.as_deref(), &results, &args.out)
             .expect("write CSVs");
@@ -390,16 +430,31 @@ fn main() {
         over
     });
 
+    // Optional throughput probe: trace-off fig6 at scale 1 and scale N,
+    // compared against the recorded baseline. Soft gate — the verdict is
+    // printed and recorded but never fails the run.
+    let bench = (args.scale_bench > 0).then(|| {
+        println!(
+            "\nscale bench: fig6 trace-off on 1 worker at scale 1 (best of 3) and scale {}",
+            args.scale_bench
+        );
+        let b = run_scale_bench(args.seed, args.scale_bench, 3);
+        println!("{}", b.gate_line());
+        b
+    });
+
     let events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
     let manifest = runner::manifest(
         args.seed,
         jobs,
+        args.scale,
         wall_secs,
         &outcomes,
         &verdicts,
         trace_level,
         overhead.as_ref(),
         chaos_fragment.as_ref(),
+        bench.as_ref(),
     );
     std::fs::write(&args.bench_out, manifest.render_pretty()).expect("write bench manifest");
     println!(
@@ -410,7 +465,9 @@ fn main() {
     );
     println!(
         "overall: {}",
-        if all_pass {
+        if args.scale > 1 {
+            "grid completed (shape checks skipped at scale > 1)"
+        } else if all_pass {
             "all shape checks PASS"
         } else {
             "some shape checks FAILED"

@@ -133,7 +133,7 @@ pub fn write_chaos_summary_csv(rows: &[ChaosRow], dir: &Path) -> io::Result<Path
 }
 
 /// Manifest fragment for the chaos sweep (`BENCH_figures.json`, schema
-/// v3): levels swept plus one object per summary row. Everything in it is
+/// v4): levels swept plus one object per summary row. Everything in it is
 /// deterministic — no timing fields.
 pub fn chaos_manifest(rows: &[ChaosRow]) -> Json {
     let cells: Vec<Json> = rows

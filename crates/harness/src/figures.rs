@@ -199,6 +199,34 @@ pub fn reduced(mut exp: Experiment, seed: u64) -> Experiment {
     exp
 }
 
+/// Scale mode: figure `n` with `scale`× the file sets and requests on the
+/// same cluster, duration and policy lineup. The offered load is held
+/// constant (per-request service demand shrinks in proportion), so the
+/// run stresses the per-event hot path — a `scale`× larger id universe
+/// and event volume — rather than queueing pathology. `scale == 1` is the
+/// canonical figure; `scale != 1` workloads are non-canonical, so callers
+/// must skip the shape checks and CSV emission that pin paper outputs.
+pub fn figure_scaled(n: u32, seed: u64, scale: u64) -> Option<Experiment> {
+    let mut exp = figure(n, seed)?;
+    if scale <= 1 {
+        return Some(exp);
+    }
+    exp.workload = if exp.workload.label == "dfstrace-like" {
+        let mut cfg = DfsLikeConfig::paper(seed);
+        cfg.n_file_sets *= scale as usize;
+        cfg.total_requests *= scale;
+        cfg.mean_cost_secs /= scale as f64;
+        cfg.generate()
+    } else {
+        let mut cfg = SyntheticConfig::paper(seed);
+        cfg.n_file_sets *= scale as usize;
+        cfg.total_requests *= scale;
+        cfg = cfg.with_offered_load(0.5, exp.cluster.total_speed());
+        cfg.generate()
+    };
+    Some(exp)
+}
+
 /// All figures in order.
 pub fn all_figures(seed: u64) -> Vec<Experiment> {
     FIGURE_NUMBERS
@@ -526,6 +554,38 @@ mod tests {
         assert!(figure(5, 1).is_none());
         assert!(figure(12, 1).is_none());
         assert_eq!(all_figures(1).len(), FIGURE_NUMBERS.len());
+    }
+
+    #[test]
+    fn figure_scaled_multiplies_sets_and_requests() {
+        let base = figure(6, 1).unwrap();
+        let x10 = figure_scaled(6, 1, 10).unwrap();
+        assert_eq!(x10.workload.n_file_sets, 210);
+        assert_eq!(x10.workload.requests.len(), 1_125_900);
+        assert_eq!(x10.cluster.servers.len(), base.cluster.servers.len());
+        assert_eq!(x10.policies.len(), base.policies.len());
+        // Offered load stays in the same regime: per-request cost shrinks
+        // as the request count grows.
+        let rho_base = base.workload.offered_load(base.cluster.total_speed());
+        let rho_x10 = x10.workload.offered_load(x10.cluster.total_speed());
+        assert!(
+            (rho_x10 - rho_base).abs() < 0.15,
+            "rho {rho_base} vs {rho_x10}"
+        );
+
+        let s10 = figure_scaled(8, 1, 10).unwrap();
+        assert_eq!(s10.workload.n_file_sets, 5_000);
+        assert_eq!(s10.workload.requests.len(), 1_000_000);
+        let rho = s10.workload.offered_load(s10.cluster.total_speed());
+        assert!(rho > 0.3 && rho < 0.9, "rho {rho}");
+    }
+
+    #[test]
+    fn figure_scaled_at_one_is_canonical() {
+        let a = figure(6, 1).unwrap();
+        let b = figure_scaled(6, 1, 1).unwrap();
+        assert_eq!(a.workload.requests, b.workload.requests);
+        assert!(figure_scaled(12, 1, 10).is_none());
     }
 
     #[test]

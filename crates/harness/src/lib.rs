@@ -36,15 +36,16 @@ pub use chaos::{
 pub use experiment::{Experiment, PolicyKind, PrescientWindow};
 pub use figures::{
     all_figures, check_closeup, check_decomposition, check_four_policy, check_overtuning,
-    checks_for, fig10, fig11, fig6, fig7, fig8, fig9, figure, reduced, ShapeCheck, DEFAULT_SEED,
-    FIGURE_NUMBERS, PLAIN_ANU_LABEL,
+    checks_for, fig10, fig11, fig6, fig7, fig8, fig9, figure, figure_scaled, reduced, ShapeCheck,
+    DEFAULT_SEED, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
 };
 pub use report::{
-    checks_table, series_table, sparklines, summary_table, write_figure_csvs,
+    checks_table, csv_field, series_table, sparklines, summary_table, write_figure_csvs,
     write_figure_csvs_tagged, write_series_csv, write_tuner_epochs_csv,
 };
 pub use runner::{
     effective_jobs, manifest, measure_trace_overhead, plan, run_grid, run_grid_traced,
-    set_default_jobs, strip_timing, FigureVerdict, SimTask, TaskOutcome, TraceOverhead,
-    MANIFEST_SCHEMA,
+    run_scale_bench, set_default_jobs, strip_timing, FigureVerdict, ScaleBench, SimTask,
+    TaskOutcome, TraceOverhead, BASELINE_SCALE1_EVENTS_PER_SEC, MANIFEST_SCHEMA,
+    PERF_GATE_THRESHOLD,
 };

@@ -90,6 +90,29 @@ pub fn sparklines(result: &RunResult) -> String {
     out
 }
 
+/// Quote a CSV field per RFC 4180 when it needs it: fields containing a
+/// comma, a double quote, or a newline are wrapped in double quotes with
+/// internal quotes doubled; everything else passes through unchanged.
+/// Every label the repo emits today is plain (policy names are
+/// `[a-z-]+`), so committed CSV bytes are identical with or without this
+/// guard — it exists so a future label with a comma corrupts nothing.
+pub fn csv_field(raw: &str) -> String {
+    if raw.contains(',') || raw.contains('"') || raw.contains('\n') || raw.contains('\r') {
+        let mut out = String::with_capacity(raw.len() + 2);
+        out.push('"');
+        for c in raw.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        raw.to_string()
+    }
+}
+
 /// Write one run's series as CSV: `minute,server,mean_latency_ms`.
 pub fn write_series_csv(result: &RunResult, path: &Path) -> io::Result<()> {
     use std::io::Write;
@@ -173,7 +196,7 @@ pub fn write_tuner_epochs_csv(
                 writeln!(
                     f,
                     "{},{},{:.3},{:.3},{},{},{},{:.3},{:.6},{:.6},{:.6},{}",
-                    r.policy,
+                    csv_field(&r.policy),
                     e.index,
                     e.time_s,
                     tune.mu_ms,

@@ -38,8 +38,26 @@ use std::time::Instant;
 /// fields: per-task `trace_events`, top-level `trace_level` and
 /// `trace_overhead`. v3 added the top-level `chaos` section (fault
 /// intensity levels and per-cell availability metrics; `null` when the
-/// sweep ran without `--chaos`).
-pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v3";
+/// sweep ran without `--chaos`). v4 added the top-level `scale` factor
+/// the grid ran at, and the `bench` section (`figures --scale-bench N`):
+/// trace-off fig6 `events_per_sec` at scale 1 and scale N, the recorded
+/// pre-rewrite `baseline` block, and the soft perf `gate` verdict
+/// (`null` when the probe did not run).
+pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v4";
+
+/// Recorded scale-1 fig6 throughput baseline (simulated events per
+/// wall-clock second, four-policy aggregate, `--jobs 1`, trace off):
+/// best-of-five on the commit immediately before the dense-state rewrite
+/// of `anu-cluster`. The soft perf gate compares fresh runs against this
+/// constant; re-record it (and say so in the commit) whenever the bench
+/// machine or the workload definitions change.
+pub const BASELINE_SCALE1_EVENTS_PER_SEC: f64 = 11_854_120.0;
+
+/// Soft perf-gate threshold: a run below this fraction of
+/// [`BASELINE_SCALE1_EVENTS_PER_SEC`] prints a `PERF-GATE WARN` line (it
+/// never fails the build — throughput is machine-dependent; the gate
+/// exists to make regressions visible, not to flake CI).
+pub const PERF_GATE_THRESHOLD: f64 = 0.8;
 
 /// Requested worker count for [`Experiment::run_all`] when the caller does
 /// not pass one explicitly; 0 means "one worker per available core".
@@ -261,6 +279,121 @@ pub fn measure_trace_overhead(exp: &Experiment) -> TraceOverhead {
     }
 }
 
+/// Result of the `figures --scale-bench N` throughput probe: trace-off
+/// fig6 events/sec at scale 1 and at scale `scale`, plus the soft-gate
+/// verdict against the recorded baseline. Everything here is timing data
+/// (see [`TIMING_FIELDS`] — the whole `bench` manifest section is
+/// stripped before determinism comparisons).
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleBench {
+    /// The scale factor the second probe ran at.
+    pub scale: u64,
+    /// Best-of-reps events/sec of the canonical (scale-1) fig6 grid.
+    pub scale1_events_per_sec: f64,
+    /// Events/sec of the scale-`scale` fig6 grid (single rep — the run is
+    /// long enough to dominate warm-up noise).
+    pub scale_n_events_per_sec: f64,
+}
+
+impl ScaleBench {
+    /// `scale1 / baseline`: ≥ 1 means at least as fast as the recorded
+    /// pre-rewrite commit.
+    pub fn ratio_vs_baseline(&self) -> f64 {
+        self.scale1_events_per_sec / BASELINE_SCALE1_EVENTS_PER_SEC
+    }
+
+    /// Does the run clear the soft gate?
+    pub fn gate_ok(&self) -> bool {
+        self.ratio_vs_baseline() >= PERF_GATE_THRESHOLD
+    }
+
+    /// The one-line `PERF-GATE OK|WARN` verdict the `figures` binary
+    /// prints and `ci/check.sh` surfaces (without failing on WARN).
+    pub fn gate_line(&self) -> String {
+        format!(
+            "PERF-GATE {}: fig6 scale-1 {:.0} ev/s = {:.2}x recorded baseline {:.0} ev/s (soft threshold {:.2}x); scale-{} {:.0} ev/s",
+            if self.gate_ok() { "OK" } else { "WARN" },
+            self.scale1_events_per_sec,
+            self.ratio_vs_baseline(),
+            BASELINE_SCALE1_EVENTS_PER_SEC,
+            PERF_GATE_THRESHOLD,
+            self.scale,
+            self.scale_n_events_per_sec,
+        )
+    }
+
+    /// The `bench` manifest section (schema v4).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scale", Json::u64(self.scale)),
+            (
+                "scale1_events_per_sec",
+                Json::f64(self.scale1_events_per_sec),
+            ),
+            (
+                "scale_n_events_per_sec",
+                Json::f64(self.scale_n_events_per_sec),
+            ),
+            (
+                "baseline",
+                Json::obj(vec![
+                    (
+                        "scale1_events_per_sec",
+                        Json::f64(BASELINE_SCALE1_EVENTS_PER_SEC),
+                    ),
+                    (
+                        "note",
+                        Json::str(
+                            "fig6 four-policy aggregate, --jobs 1, trace off, \
+                             best of 5 on the commit before the dense-state rewrite",
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "gate",
+                Json::obj(vec![
+                    ("threshold", Json::f64(PERF_GATE_THRESHOLD)),
+                    ("ratio", Json::f64(self.ratio_vs_baseline())),
+                    ("ok", Json::bool(self.gate_ok())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Run the scale-bench probe: the full fig6 grid (all four policies) with
+/// tracing off on a single worker, at scale 1 (`reps` repetitions, best
+/// taken — single-digit-second runs are noisy) and at scale `scale` (one
+/// repetition). Aggregate events/sec per rep is total simulated events
+/// over total simulation wall time.
+pub fn run_scale_bench(seed: u64, scale: u64, reps: usize) -> ScaleBench {
+    let probe = |s: u64, reps: usize| -> f64 {
+        let exp = crate::figures::figure_scaled(6, seed, s)
+            // anu-lint: allow(panic) -- figure 6 always exists
+            .expect("figure 6 exists");
+        let mut best = 0.0f64;
+        for _ in 0..reps.max(1) {
+            let outcomes = run_grid(std::slice::from_ref(&exp), 1);
+            let events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
+            let wall: f64 = outcomes.iter().map(|o| o.wall_secs).sum();
+            best = best.max(events as f64 / wall.max(1e-9));
+        }
+        best
+    };
+    let scale1_events_per_sec = probe(1, reps);
+    let scale_n_events_per_sec = if scale > 1 {
+        probe(scale, 1)
+    } else {
+        scale1_events_per_sec
+    };
+    ScaleBench {
+        scale,
+        scale1_events_per_sec,
+        scale_n_events_per_sec,
+    }
+}
+
 /// Regroup grid outcomes by experiment, preserving policy order — the
 /// shape the per-figure check functions and CSV writers consume. The
 /// returned vector has one entry per submitted experiment.
@@ -304,18 +437,23 @@ impl FigureVerdict {
 ///
 /// `chaos` is the [`crate::chaos::chaos_manifest`] fragment when the run
 /// swept fault intensities, `None` otherwise (serialized as `null`).
+/// `scale` is the factor the grid's workloads were multiplied by (1 for
+/// the canonical figures); `bench` is the [`ScaleBench`] probe result
+/// when `--scale-bench` ran, `None` otherwise (serialized as `null`).
 // One parameter per manifest section, called from exactly one place (the
 // figures binary); a builder would be ceremony without safety.
 #[allow(clippy::too_many_arguments)]
 pub fn manifest(
     base_seed: u64,
     jobs: usize,
+    scale: u64,
     wall_secs: f64,
     outcomes: &[TaskOutcome],
     verdicts: &[FigureVerdict],
     trace_level: TraceLevel,
     overhead: Option<&TraceOverhead>,
     chaos: Option<&Json>,
+    bench: Option<&ScaleBench>,
 ) -> Json {
     let total_events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
     let events_per_sec = if wall_secs > 0.0 {
@@ -369,6 +507,7 @@ pub fn manifest(
         ("schema", Json::str(MANIFEST_SCHEMA)),
         ("base_seed", Json::u64(base_seed)),
         ("jobs", Json::usize(jobs)),
+        ("scale", Json::u64(scale)),
         ("tasks_total", Json::usize(outcomes.len())),
         ("sim_events_total", Json::u64(total_events)),
         ("wall_secs", Json::f64(wall_secs)),
@@ -383,14 +522,22 @@ pub fn manifest(
             Json::bool(verdicts.iter().all(FigureVerdict::pass)),
         ),
         ("chaos", chaos.cloned().unwrap_or(Json::Null)),
+        ("bench", bench.map_or(Json::Null, ScaleBench::to_json)),
         ("tasks", Json::arr(tasks)),
         ("figures", Json::arr(figures)),
     ])
 }
 
 /// Keys of manifest fields that legitimately differ between two runs of
-/// the same grid (they measure the run, not the simulation).
-pub const TIMING_FIELDS: [&str; 4] = ["wall_secs", "events_per_sec", "jobs", "trace_overhead"];
+/// the same grid (they measure the run, not the simulation). The whole
+/// `bench` section is timing: it exists to record throughput.
+pub const TIMING_FIELDS: [&str; 5] = [
+    "wall_secs",
+    "events_per_sec",
+    "jobs",
+    "trace_overhead",
+    "bench",
+];
 
 /// Copy of a manifest with every timing field removed, at every depth.
 /// Two manifests of the same grid must be equal after stripping, whatever
@@ -528,8 +675,14 @@ mod tests {
             overhead_pct: 1.0,
         };
         let chaos = Json::obj(vec![("levels", Json::arr(vec![Json::f64(1.0)]))]);
+        let bench = ScaleBench {
+            scale: 100,
+            scale1_events_per_sec: 1.2e7,
+            scale_n_events_per_sec: 1.5e7,
+        };
         let ma = manifest(
             5,
+            1,
             1,
             1.23,
             &a,
@@ -537,16 +690,19 @@ mod tests {
             TraceLevel::Off,
             Some(&over),
             Some(&chaos),
+            Some(&bench),
         );
         let mb = manifest(
             5,
             8,
+            1,
             0.45,
             &b,
             &verdicts,
             TraceLevel::Off,
             None,
             Some(&chaos),
+            None,
         );
         assert_ne!(ma, mb, "timing fields must differ");
         assert_eq!(strip_timing(&ma), strip_timing(&mb));
@@ -556,6 +712,10 @@ mod tests {
         assert!(stripped.contains("\"schema\""));
         assert!(!stripped.contains("wall_secs"));
         assert!(!stripped.contains("events_per_sec"));
+        assert!(
+            !stripped.contains("\"bench\""),
+            "bench is timing data and must strip"
+        );
     }
 
     #[test]
@@ -574,19 +734,24 @@ mod tests {
         let m = manifest(
             5,
             2,
+            1,
             0.5,
             &outcomes,
             &verdicts,
             TraceLevel::Epoch,
             None,
             None,
+            None,
         );
         assert_eq!(m.get("schema").unwrap().as_str().unwrap(), MANIFEST_SCHEMA);
+        assert_eq!(MANIFEST_SCHEMA, "anu-bench-figures/v4");
         assert_eq!(m.get("base_seed").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(m.get("scale").unwrap().as_u64().unwrap(), 1);
         assert_eq!(m.get("tasks_total").unwrap().as_usize().unwrap(), 3);
         assert_eq!(m.get("trace_level").unwrap().as_str().unwrap(), "epoch");
         assert_eq!(m.get("trace_overhead").unwrap(), &Json::Null);
         assert_eq!(m.get("chaos").unwrap(), &Json::Null);
+        assert_eq!(m.get("bench").unwrap(), &Json::Null);
         assert!(!m.get("all_pass").unwrap().as_bool().unwrap());
         let tasks = m.get("tasks").unwrap().as_arr().unwrap();
         assert_eq!(tasks.len(), 3);
@@ -632,6 +797,36 @@ mod tests {
         assert!(over.overhead_pct < 100.0);
         let j = over.to_json();
         assert!(j.get("overhead_pct").is_ok());
+    }
+
+    #[test]
+    fn scale_bench_gate_and_manifest_shape() {
+        let fast = ScaleBench {
+            scale: 100,
+            scale1_events_per_sec: BASELINE_SCALE1_EVENTS_PER_SEC * 1.6,
+            scale_n_events_per_sec: 2.0e7,
+        };
+        assert!(fast.gate_ok());
+        assert!(fast.gate_line().starts_with("PERF-GATE OK"));
+        let slow = ScaleBench {
+            scale: 100,
+            scale1_events_per_sec: BASELINE_SCALE1_EVENTS_PER_SEC * 0.5,
+            scale_n_events_per_sec: 1.0e6,
+        };
+        assert!(!slow.gate_ok());
+        assert!(slow.gate_line().starts_with("PERF-GATE WARN"));
+        let j = fast.to_json();
+        assert_eq!(j.get("scale").unwrap().as_u64().unwrap(), 100);
+        assert_eq!(
+            j.get("baseline")
+                .unwrap()
+                .get("scale1_events_per_sec")
+                .unwrap(),
+            &Json::f64(BASELINE_SCALE1_EVENTS_PER_SEC)
+        );
+        let gate = j.get("gate").unwrap();
+        assert!(gate.get("ok").unwrap().as_bool().unwrap());
+        assert_eq!(gate.get("threshold").unwrap(), &Json::f64(0.8));
     }
 
     #[test]

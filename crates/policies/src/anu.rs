@@ -381,7 +381,6 @@ mod tests {
         let epoch = p.take_epoch().expect("planned tick exposes telemetry");
         assert!(epoch.planned);
         assert_eq!(epoch.decisions.len(), 4);
-        // anu-lint: allow(panic) -- test helper
         let d0 = epoch
             .decisions
             .iter()
@@ -466,7 +465,6 @@ mod tests {
     fn audit_flags_a_settled_set_on_the_wrong_server() {
         let mut p = AnuPolicy::with_seed(11);
         let mut a = p.initial(&view(5), &sets(50));
-        // anu-lint: allow(panic) -- test helper
         let (&fs, &owner) = a.iter().next().unwrap();
         a.insert(fs, ServerId((owner.0 + 1) % 5));
         let violations = p.audit(&a, &[]);

@@ -6,7 +6,7 @@
 //! differ by a factor of `α`. We implement that family plus Zipf, uniform
 //! and constant alternatives for sensitivity experiments.
 
-use anu_des::{RngStream, Zipf};
+use anu_des::{AliasTable, RngStream, Zipf};
 
 /// Distribution of relative per-file-set workload weights.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -76,6 +76,14 @@ impl WeightDist {
             }
         }
     }
+
+    /// Draw weights for `n` file sets and build an O(1)-per-draw sampler
+    /// over them. This is the scale-mode path for weighted file-set
+    /// selection: the table is built once per weight change, so each
+    /// subsequent draw is constant-time regardless of `n`.
+    pub fn sampler(&self, n: usize, rng: &mut RngStream) -> AliasTable {
+        AliasTable::new(&self.sample(n, rng))
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +133,19 @@ mod tests {
         let mut r = RngStream::new(5, "w");
         let w = WeightDist::Uniform { lo: 2.0, hi: 3.0 }.sample(100, &mut r);
         assert!(w.iter().all(|&x| (2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn sampler_tracks_sampled_weights() {
+        let mut wr = RngStream::new(7, "w");
+        let mut tr = RngStream::new(7, "w");
+        let d = WeightDist::GeometricSpread { ratio: 20.0 };
+        let w = d.sample(8, &mut wr);
+        let t = d.sampler(8, &mut tr);
+        let total: f64 = w.iter().sum();
+        for (k, &wk) in w.iter().enumerate() {
+            assert!((t.prob(k) - wk / total).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -184,6 +184,26 @@ impl DocCoverage {
     }
 }
 
+/// One well-formed `anu-lint: allow(...)` waiver found in the tree,
+/// whether or not it suppressed anything. The audit (`anu-xtask waivers`)
+/// lists these so every exception to the lint wall stays reviewable in
+/// one place — and so waivers that no longer suppress anything can be
+/// deleted instead of rotting.
+#[derive(Clone, Debug)]
+pub struct WaiverRecord {
+    /// Path relative to the scanned root, with `/` separators.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// Lints the waiver allows.
+    pub lints: Vec<Lint>,
+    /// The written justification after `--`.
+    pub reason: String,
+    /// Did the waiver suppress at least one violation on its line or the
+    /// line below? `false` means the waiver is dead and should go.
+    pub used: bool,
+}
+
 /// The result of scanning a workspace tree.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -191,6 +211,8 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Number of violations suppressed by a justified waiver.
     pub waived: usize,
+    /// Every well-formed waiver in the tree, in path/line order.
+    pub waivers: Vec<WaiverRecord>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Per-crate `pub`-item documentation coverage, keyed by crate name.
@@ -281,6 +303,36 @@ impl Report {
             out.push_str("\n  ");
         }
         out.push_str("}\n}\n");
+        out
+    }
+
+    /// Waivers that no longer suppress any violation.
+    pub fn unused_waivers(&self) -> Vec<&WaiverRecord> {
+        self.waivers.iter().filter(|w| !w.used).collect()
+    }
+
+    /// Render the waiver audit as human-readable text: one line per
+    /// waiver with its location, lints, justification, and whether it
+    /// still suppresses anything.
+    pub fn render_waivers(&self) -> String {
+        let mut out = String::new();
+        for w in &self.waivers {
+            let lints: Vec<&str> = w.lints.iter().map(|l| l.name()).collect();
+            out.push_str(&format!(
+                "  {} {}:{} allow({}) -- {}\n",
+                if w.used { "[used]  " } else { "[UNUSED]" },
+                w.file,
+                w.line,
+                lints.join(", "),
+                w.reason
+            ));
+        }
+        let unused = self.unused_waivers().len();
+        out.push_str(&format!(
+            "{} waiver(s), {} unused\n",
+            self.waivers.len(),
+            unused
+        ));
         out
     }
 }
@@ -376,6 +428,9 @@ pub fn scan_workspace(root: &Path) -> io::Result<Report> {
     report
         .violations
         .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    report
+        .waivers
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     Ok(report)
 }
 
@@ -430,6 +485,8 @@ struct LineInfo {
     code: String,
     /// Lints waived on this line (applies to this line and the next).
     waived: Vec<Lint>,
+    /// The waiver's written justification, when one was parsed.
+    waiver_reason: Option<String>,
     /// A waiver comment was present but malformed.
     bad_waiver: Option<String>,
     /// The line is a `///` or `//!` doc comment.
@@ -569,6 +626,7 @@ fn scan_file(text: &str, ctx: &FileContext, report: &mut Report) {
     }
 
     // Apply waivers: a waiver on line N covers violations on N and N+1.
+    let mut waiver_used = vec![false; lines.len()];
     for (lineno, lint, message) in pending {
         let own = lines
             .get(lineno - 1)
@@ -581,6 +639,8 @@ fn scan_file(text: &str, ctx: &FileContext, report: &mut Report) {
                 .unwrap_or(false);
         if lint != Lint::Waiver && (own || above) {
             report.waived += 1;
+            let at = if own { lineno - 1 } else { lineno - 2 };
+            waiver_used[at] = true;
         } else {
             report.violations.push(Violation {
                 lint,
@@ -589,6 +649,22 @@ fn scan_file(text: &str, ctx: &FileContext, report: &mut Report) {
                 message,
             });
         }
+    }
+
+    // Record every well-formed waiver for the audit, used or not. Note
+    // that waivers inside `#[cfg(test)]` regions are inherently unused —
+    // those regions produce no violations to suppress.
+    for (idx, info) in lines.iter().enumerate() {
+        if info.waived.is_empty() {
+            continue;
+        }
+        report.waivers.push(WaiverRecord {
+            file: ctx.rel.clone(),
+            line: idx + 1,
+            lints: info.waived.clone(),
+            reason: info.waiver_reason.clone().unwrap_or_default(),
+            used: waiver_used[idx],
+        });
     }
 }
 
@@ -803,10 +879,12 @@ fn parse_waiver(text: &str, info: &mut LineInfo) {
         info.bad_waiver = bad("waiver needs a justification: `-- <reason>`");
         return;
     };
-    if after[dashes + 2..].trim().is_empty() {
+    let reason = after[dashes + 2..].trim();
+    if reason.is_empty() {
         info.bad_waiver = bad("waiver justification is empty");
         return;
     }
+    info.waiver_reason = Some(reason.to_string());
     info.waived = lints;
 }
 
@@ -938,8 +1016,15 @@ fn strip_non_code(text: &str) -> (String, String) {
             }
             Mode::Str => {
                 if b == b'\\' {
+                    // Pass the escaped byte through `neither` so a
+                    // backslash-newline continuation keeps its newline —
+                    // otherwise every line number after it is off by one.
                     neither(&mut out, &mut cmt, b' ');
-                    neither(&mut out, &mut cmt, b' ');
+                    neither(
+                        &mut out,
+                        &mut cmt,
+                        bytes.get(i + 1).copied().unwrap_or(b' '),
+                    );
                     i += 2;
                 } else if b == b'"' {
                     code(&mut out, &mut cmt, b'"');
@@ -1205,6 +1290,58 @@ mod tests {
         // treated as a string and the unwrap would be missed.
         let r = run("fn f<'a>(x: &'a str) { x.unwrap(); }\n", &c);
         assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn waiver_audit_records_used_and_unused() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "/// d\npub fn f() {\n\
+                    // anu-lint: allow(panic) -- bounded index, checked above\n\
+                    x.unwrap();\n\
+                    // anu-lint: allow(print) -- leftover from a removed progress line\n\
+                    let y = 1;\n}\n";
+        let r = run(text, &c);
+        assert!(r.clean(), "{:?}", r.violations);
+        assert_eq!(r.waivers.len(), 2);
+        let panic_w = &r.waivers[0];
+        assert_eq!(
+            (panic_w.line, panic_w.used, panic_w.lints.as_slice()),
+            (3, true, &[Lint::Panic][..])
+        );
+        assert_eq!(panic_w.reason, "bounded index, checked above");
+        let print_w = &r.waivers[1];
+        assert!(
+            !print_w.used,
+            "waiver suppressing nothing must audit unused"
+        );
+        assert_eq!(r.unused_waivers().len(), 1);
+        let audit = r.render_waivers();
+        assert!(audit.contains("[used]  "), "{audit}");
+        assert!(audit.contains("[UNUSED]"), "{audit}");
+        assert!(audit.contains("2 waiver(s), 1 unused"), "{audit}");
+    }
+
+    #[test]
+    fn string_continuation_keeps_line_numbers_aligned() {
+        // A backslash-newline continuation inside a string literal must
+        // not swallow the newline: everything after it would be
+        // attributed to the wrong line (and doc comments would stop
+        // lining up with their items).
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text = "fn f() -> &'static str {\n    \"one \\\n     two\"\n}\n\n/// Documented.\npub fn g() {}\n";
+        let r = run(text, &c);
+        assert!(r.clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn same_line_waiver_marks_its_own_line_used() {
+        let c = ctx("crates/core/src/lib.rs", "core", true);
+        let text =
+            "fn f() { x.unwrap(); } // anu-lint: allow(panic) -- infallible by construction\n";
+        let r = run(text, &c);
+        assert!(r.clean(), "{:?}", r.violations);
+        assert_eq!(r.waivers.len(), 1);
+        assert!(r.waivers[0].used);
     }
 
     #[test]

@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! anu-xtask check [--root DIR] [--format text|json]
+//! anu-xtask waivers [--root DIR]
 //! anu-xtask list-lints
 //! ```
 //!
-//! Exit codes: 0 clean, 1 unwaived violations found, 2 usage or I/O error.
+//! `waivers` audits every `anu-lint: allow(...)` comment in the tree:
+//! where it is, what it allows, its written justification, and whether it
+//! still suppresses anything. Unused waivers fail the audit (exit 1) —
+//! a waiver that no longer covers a violation should be deleted, not
+//! left to mask a future one.
+//!
+//! Exit codes: 0 clean, 1 unwaived violations (or, for `waivers`, unused
+//! waivers) found, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,33 +60,10 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let root = root.unwrap_or_else(|| {
-                // When run via `cargo run -p anu-xtask`, the workspace root
-                // is one level above this crate's manifest dir.
-                let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-                manifest
-                    .parent()
-                    .and_then(|p| p.parent())
-                    .map(PathBuf::from)
-                    .unwrap_or_else(|| PathBuf::from("."))
-            });
-            if !root.is_dir() {
-                eprintln!("error: {} is not a directory", root.display());
-                return ExitCode::from(2);
-            }
-            let report = match scan_workspace(&root) {
+            let report = match scan(root) {
                 Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: failed to scan {}: {e}", root.display());
-                    return ExitCode::from(2);
-                }
+                Err(code) => return code,
             };
-            // A root with no sources is almost certainly a typo'd --root;
-            // treat it as usage error rather than a clean pass.
-            if report.files_scanned == 0 {
-                eprintln!("error: no Rust sources under {}", root.display());
-                return ExitCode::from(2);
-            }
             match format.as_str() {
                 "json" => print!("{}", report.render_json()),
                 _ => print!("{}", report.render_text()),
@@ -86,6 +71,36 @@ fn main() -> ExitCode {
             if report.clean() {
                 ExitCode::SUCCESS
             } else {
+                ExitCode::FAILURE
+            }
+        }
+        "waivers" => {
+            let mut root: Option<PathBuf> = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--root" => match it.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => {
+                            eprintln!("error: --root needs a directory");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("error: unknown argument `{other}`");
+                        usage();
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let report = match scan(root) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            print!("{}", report.render_waivers());
+            if report.unused_waivers().is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: unused waiver(s) — delete them rather than letting them mask future violations");
                 ExitCode::FAILURE
             }
         }
@@ -97,6 +112,41 @@ fn main() -> ExitCode {
     }
 }
 
+/// Resolve the root (defaulting to the workspace) and scan it, mapping
+/// failures to the process exit code.
+fn scan(root: Option<PathBuf>) -> Result<anu_xtask::Report, ExitCode> {
+    let root = root.unwrap_or_else(|| {
+        // When run via `cargo run -p anu-xtask`, the workspace root
+        // is one level above this crate's manifest dir.
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    if !root.is_dir() {
+        eprintln!("error: {} is not a directory", root.display());
+        return Err(ExitCode::from(2));
+    }
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return Err(ExitCode::from(2));
+        }
+    };
+    // A root with no sources is almost certainly a typo'd --root;
+    // treat it as usage error rather than a clean pass.
+    if report.files_scanned == 0 {
+        eprintln!("error: no Rust sources under {}", root.display());
+        return Err(ExitCode::from(2));
+    }
+    Ok(report)
+}
+
 fn usage() {
-    eprintln!("usage: anu-xtask <check [--root DIR] [--format text|json] | list-lints>");
+    eprintln!(
+        "usage: anu-xtask <check [--root DIR] [--format text|json] | waivers [--root DIR] | list-lints>"
+    );
 }

@@ -1,0 +1,149 @@
+//! Differential gate for the dense-world rewrite.
+//!
+//! The dense `Vec`-indexed world state (interned server/file-set ids,
+//! alias-table sampling) must be *observationally identical* to the
+//! original `BTreeMap`-keyed implementation. These fingerprints were
+//! generated on the commit **before** the rewrite, from the exact same
+//! experiments: reduced figure 6 and figure 8 configurations over ten
+//! seeds, hashing each policy's label, its full `RunSummary` debug
+//! rendering, and the bytes of its per-server series CSV.
+//!
+//! If one of these assertions fires, the hot path changed behaviour —
+//! not just speed. That is a correctness bug (or an intentional change
+//! that must re-pin every golden output in the repo, not just these).
+
+use anu_harness::{figure, reduced, Experiment};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+/// Pre-rewrite fingerprints of reduced figure 6 (dfstrace-like workload,
+/// four policies) at seeds 1..=10.
+const FIG6_REFERENCE: [u64; 10] = [
+    0xcbde1da5f58c67dc,
+    0x8b17e744f7161932,
+    0xfba0af38d3af8161,
+    0xfa70758cac7d3b1d,
+    0x502202c46ba52b77,
+    0x989f0f76c2c2b5a5,
+    0x66bf1ef6d5f43277,
+    0x8aa807274f3453d8,
+    0x91282dc7bd236ddf,
+    0x8fbc5668590f1450,
+];
+
+/// Pre-rewrite fingerprints of reduced figure 8 (synthetic workload) at
+/// seeds 1..=10.
+const FIG8_REFERENCE: [u64; 10] = [
+    0x28104b73e4c7c8a0,
+    0x9903ccd37932729a,
+    0x0d649afe60940b49,
+    0xa493899f93926c63,
+    0x68245ff92cc6453d,
+    0xbb938fcbd024eaca,
+    0x47b46cabc584a14b,
+    0xfaace89392706e1d,
+    0xd156342ac3a7effd,
+    0x987eabdf402c68b6,
+];
+
+fn reduced_figure(fig: u32, seed: u64) -> Experiment {
+    reduced(figure(fig, seed).expect("figure exists"), seed)
+}
+
+/// Hash every policy's observable output: label, summary, series CSV.
+fn fingerprint(results: &[anu_cluster::RunResult]) -> u64 {
+    let tmp = std::env::temp_dir().join(format!(
+        "anu_scale_equiv_{}_{:x}",
+        std::process::id(),
+        results.as_ptr() as usize
+    ));
+    std::fs::create_dir_all(&tmp).expect("temp dir");
+    let path = tmp.join("series.csv");
+    let mut acc = FNV_OFFSET;
+    for r in results {
+        acc = fnv1a(acc, r.policy.as_bytes());
+        acc = fnv1a(acc, format!("{:?}", r.summary).as_bytes());
+        anu_harness::report::write_series_csv(r, &path).expect("write series csv");
+        acc = fnv1a(acc, &std::fs::read(&path).expect("read series csv"));
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    acc
+}
+
+#[test]
+fn dense_world_matches_pre_rewrite_fig6_over_ten_seeds() {
+    for (i, &expected) in FIG6_REFERENCE.iter().enumerate() {
+        let seed = 1 + i as u64;
+        let got = fingerprint(&reduced_figure(6, seed).run_all());
+        assert_eq!(
+            got, expected,
+            "fig6 seed {seed}: dense world diverged from the pre-rewrite reference \
+             (got 0x{got:016x}, expected 0x{expected:016x})"
+        );
+    }
+}
+
+#[test]
+fn dense_world_matches_pre_rewrite_fig8_over_ten_seeds() {
+    for (i, &expected) in FIG8_REFERENCE.iter().enumerate() {
+        let seed = 1 + i as u64;
+        let got = fingerprint(&reduced_figure(8, seed).run_all());
+        assert_eq!(
+            got, expected,
+            "fig8 seed {seed}: dense world diverged from the pre-rewrite reference \
+             (got 0x{got:016x}, expected 0x{expected:016x})"
+        );
+    }
+}
+
+#[test]
+fn fingerprints_unchanged_at_any_worker_count() {
+    // The same experiments must fingerprint identically whether the
+    // policy grid is drained by one worker or four — the alias sampler
+    // and dense state carry no cross-task mutable state.
+    for fig in [6u32, 8] {
+        let exp = reduced_figure(fig, 3);
+        let serial = fingerprint(&exp.run_with_jobs(1));
+        let parallel = fingerprint(&exp.run_with_jobs(4));
+        assert_eq!(
+            serial, parallel,
+            "fig{fig}: results differ between --jobs 1 and --jobs 4"
+        );
+    }
+}
+
+#[test]
+fn alias_draw_sequences_identical_across_threads() {
+    // Satellite check for the sampler itself: four threads each draw
+    // the same sequence from identical (table, seed) pairs as a serial
+    // draw does. The table is immutable after construction; all draw
+    // state lives in the caller's RngStream.
+    use anu_des::{AliasTable, RngStream};
+
+    let weights: Vec<f64> = (1..=64).map(|i| 1.0 / f64::from(i)).collect();
+    let table = AliasTable::new(&weights);
+    let serial: Vec<usize> = {
+        let mut rng = RngStream::new(42, "alias-jobs");
+        (0..10_000).map(|_| table.sample(&mut rng)).collect()
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let table = &table;
+            let serial = &serial;
+            scope.spawn(move || {
+                let mut rng = RngStream::new(42, "alias-jobs");
+                let drawn: Vec<usize> = (0..10_000).map(|_| table.sample(&mut rng)).collect();
+                assert_eq!(&drawn, serial, "thread drew a different alias sequence");
+            });
+        }
+    });
+}
