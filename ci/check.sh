@@ -64,6 +64,12 @@ cargo run -q -p anu-xtask -- check
 step "anu-xtask waivers (every lint exception justified and still live)"
 cargo run -q -p anu-xtask -- waivers
 
+step "anu-xtask ratchet (per-lint counts vs committed lint-baseline.json)"
+cargo run -q -p anu-xtask -- ratchet
+
+step "anu-xtask deps (Cargo.lock contains only workspace members)"
+cargo run -q -p anu-xtask -- deps
+
 if [[ "$QUICK" == 1 ]]; then
     step "tier-1: cargo test (debug, --quick)"
     cargo test -q

@@ -49,6 +49,7 @@ pub fn half_units(fraction_of_half: f64) -> u64 {
     // `f64_of(HALF_UNIT)` is exact (power of two); the product rounds to the
     // nearest representable value, which is fine — exact sums are restored
     // by the largest-remainder pass in `shares`.
+    // anu-lint: allow(tick-arith) -- pure f64 scaling, clamped to [0, 1]; floats saturate on their own
     num::trunc_u64(clamped * num::f64_of(HALF_UNIT))
 }
 
@@ -83,7 +84,7 @@ impl Segment {
     /// Does the segment contain `p`?
     #[inline]
     pub fn contains(&self, p: Pos) -> bool {
-        p >= self.start && p.0 - self.start.0 < self.len
+        p >= self.start && p.0.saturating_sub(self.start.0) < self.len
     }
 }
 

@@ -226,6 +226,18 @@ impl PartitionTable {
         Segment::new(Pos(self.part_start(idx).0 + from_off), to_off - from_off)
     }
 
+    /// The region index of a server already validated as registered
+    /// (every public entry point returns `UnknownServer` first). Reaching
+    /// this with an unregistered id means the index is corrupt, which is
+    /// worth halting on.
+    #[inline]
+    fn region_mut(&mut self, s: ServerId) -> &mut ServerRegions {
+        let Some(reg) = self.regions.get_mut(&s) else {
+            unreachable!("server validated as registered at entry")
+        };
+        reg
+    }
+
     /// Shrink server `s` by `amount` fixed-point units, shedding from its
     /// partial first and then demoting full partitions (highest index
     /// first). Appends the freed segments to `changes`.
@@ -270,8 +282,9 @@ impl PartitionTable {
 
         // Phase 2: release or demote full partitions, highest index first.
         while remaining > 0 {
-            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
-            let reg = self.regions.get_mut(&s).expect("checked above");
+            let Some(reg) = self.regions.get_mut(&s) else {
+                unreachable!("`s` was validated at entry (UnknownServer)")
+            };
             let Some(&p) = reg.fulls.iter().next_back() else {
                 break; // share exhausted (clipped by `min` above)
             };
@@ -321,8 +334,9 @@ impl PartitionTable {
 
         // Phase 1: extend the existing partial toward the partition end.
         {
-            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
-            let reg = self.regions.get_mut(&s).expect("checked");
+            let Some(reg) = self.regions.get_mut(&s) else {
+                unreachable!("`s` was validated at entry (UnknownServer)")
+            };
             if let Some((p, len)) = reg.partial {
                 let add = remaining.min(w - len);
                 if add > 0 {
@@ -355,8 +369,7 @@ impl PartitionTable {
             };
             self.free.remove(&p);
             self.parts[num::usize_of_u32(p)] = PartitionState::Full(s);
-            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
-            self.regions.get_mut(&s).expect("checked").fulls.insert(p);
+            self.region_mut(s).fulls.insert(p);
             remaining -= w;
             changes.push(RegionChange {
                 segment: self.seg(p, 0, w),
@@ -375,8 +388,7 @@ impl PartitionTable {
                 server: s,
                 len: remaining,
             };
-            // anu-lint: allow(panic) -- `s` was validated at entry (UnknownServer)
-            let reg = self.regions.get_mut(&s).expect("checked");
+            let reg = self.region_mut(s);
             debug_assert!(reg.partial.is_none(), "phase 1 drained or promoted it");
             reg.partial = Some((p, remaining));
             changes.push(RegionChange {
@@ -475,8 +487,9 @@ impl PartitionTable {
         if self.regions.len() <= 1 {
             return Err(AnuError::EmptyCluster);
         }
-        // anu-lint: allow(panic) -- membership checked two lines up
-        let reg = self.regions.remove(&s).expect("checked");
+        let Some(reg) = self.regions.remove(&s) else {
+            unreachable!("membership checked two lines up")
+        };
         let removed_share = reg.share(w);
 
         // Proportional post-failure targets for the survivors.
@@ -499,19 +512,15 @@ impl PartitionTable {
 
         for p in reg.fulls {
             // Hand partition `p` to the survivor with the largest deficit.
-            let (&taker, _) = deficits
+            let Some((&taker, _)) = deficits
                 .iter()
                 .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
-                // anu-lint: allow(panic) -- entry check guarantees >= 1 survivor
-                .expect("at least one survivor");
+            else {
+                unreachable!("entry check guarantees >= 1 survivor")
+            };
             *deficits.entry(taker).or_insert(0.0) -= num::f64_of(w);
             self.parts[num::usize_of_u32(p)] = PartitionState::Full(taker);
-            self.regions
-                .get_mut(&taker)
-                // anu-lint: allow(panic) -- taker drawn from the survivors' deficit map
-                .expect("survivor registered")
-                .fulls
-                .insert(p);
+            self.region_mut(taker).fulls.insert(p);
             changes.push(RegionChange {
                 segment: self.seg(p, 0, w),
                 from: Some(s),
@@ -559,18 +568,13 @@ impl PartitionTable {
                 .max_by(|a, b| a.1.share(w).cmp(&b.1.share(w)).then(b.0.cmp(a.0)))
                 .map(|(&id, _)| id);
             let Some(donor) = donor else { break };
-            // anu-lint: allow(panic) -- donor selected from `self.regions` just above
-            let reg = self.regions.get_mut(&donor).expect("donor exists");
-            // anu-lint: allow(panic) -- donor filter requires a non-empty full set
-            let p = *reg.fulls.iter().next_back().expect("non-empty fulls");
+            let reg = self.region_mut(donor);
+            let Some(&p) = reg.fulls.iter().next_back() else {
+                unreachable!("donor filter requires a non-empty full set")
+            };
             reg.fulls.remove(&p);
             self.parts[num::usize_of_u32(p)] = PartitionState::Full(to);
-            self.regions
-                .get_mut(&to)
-                // anu-lint: allow(panic) -- `to` was validated at entry (UnknownServer)
-                .expect("receiver registered")
-                .fulls
-                .insert(p);
+            self.region_mut(to).fulls.insert(p);
             changes.push(RegionChange {
                 segment: self.seg(p, 0, w),
                 from: Some(donor),
@@ -635,16 +639,15 @@ impl PartitionTable {
                     self.free.insert(i);
                 }
                 PartitionState::Full(s) => {
-                    self.regions
-                        .get_mut(&s)
-                        // anu-lint: allow(panic) -- partitions only reference registered servers
-                        .expect("known server")
-                        .fulls
-                        .insert(i);
+                    let Some(reg) = self.regions.get_mut(&s) else {
+                        unreachable!("partitions only reference registered servers")
+                    };
+                    reg.fulls.insert(i);
                 }
                 PartitionState::Partial { server, len } => {
-                    // anu-lint: allow(panic) -- partitions only reference registered servers
-                    let reg = self.regions.get_mut(&server).expect("known server");
+                    let Some(reg) = self.regions.get_mut(&server) else {
+                        unreachable!("partitions only reference registered servers")
+                    };
                     debug_assert!(reg.partial.is_none());
                     reg.partial = Some((i, len));
                 }

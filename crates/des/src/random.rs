@@ -75,6 +75,7 @@ impl RngStream {
     /// `(task_seed(base_seed, task_id), label)`. See [`task_seed`] for the
     /// determinism contract.
     pub fn for_task(base_seed: u64, task_id: u64, label: &str) -> Self {
+        // anu-lint: allow(rng-discipline) -- passthrough constructor: the literal label lives at the caller
         RngStream::new(task_seed(base_seed, task_id), label)
     }
 

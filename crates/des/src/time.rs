@@ -5,6 +5,12 @@
 //! broken by schedule order, never by floating-point noise. Microsecond
 //! resolution spans ~584,000 years of simulated time, far beyond any
 //! experiment.
+//!
+//! All tick arithmetic saturates instead of wrapping: a silent wrap would
+//! corrupt every downstream figure while staying bitwise deterministic,
+//! invisible to the determinism gates. Saturation cannot occur in a valid
+//! run (584k simulated years), so goldens are unaffected; the `tick-arith`
+//! lint in `anu-xtask` enforces that no bare `+`/`-`/`*` sneaks back in.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
@@ -61,13 +67,13 @@ impl SimDuration {
     /// Construct from whole seconds.
     #[inline]
     pub fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000)
+        SimDuration(s.saturating_mul(1_000_000))
     }
 
     /// Construct from whole milliseconds.
     #[inline]
     pub fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
+        SimDuration(ms.saturating_mul(1_000))
     }
 
     /// The duration as fractional seconds.
@@ -88,14 +94,14 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, d: SimDuration) -> SimTime {
-        SimTime(self.0 + d.0)
+        SimTime(self.0.saturating_add(d.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     #[inline]
     fn add_assign(&mut self, d: SimDuration) {
-        self.0 += d.0;
+        self.0 = self.0.saturating_add(d.0);
     }
 }
 
@@ -103,7 +109,7 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     #[inline]
     fn sub(self, other: SimTime) -> SimDuration {
-        SimDuration(self.0 - other.0)
+        SimDuration(self.0.saturating_sub(other.0))
     }
 }
 
@@ -111,14 +117,14 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, d: SimDuration) -> SimDuration {
-        SimDuration(self.0 + d.0)
+        SimDuration(self.0.saturating_add(d.0))
     }
 }
 
 impl AddAssign for SimDuration {
     #[inline]
     fn add_assign(&mut self, d: SimDuration) {
-        self.0 += d.0;
+        self.0 = self.0.saturating_add(d.0);
     }
 }
 

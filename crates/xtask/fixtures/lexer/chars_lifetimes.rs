@@ -1,0 +1,17 @@
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+fn chars() -> (char, char, char) {
+    ('x', '\n', '\'')
+}
+
+fn labels() {
+    'outer: loop {
+        break 'outer;
+    }
+}
+
+fn numbers() -> (u64, f64, u32) {
+    (0xFF_u64, 1.5e-3, 0b1010 + 0o77)
+}

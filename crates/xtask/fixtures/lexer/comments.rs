@@ -1,0 +1,13 @@
+//! Inner doc line.
+/*! inner block doc */
+
+/// Outer doc line.
+/** outer block doc */
+fn documented() {}
+
+/* plain block /* nested /* deeply */ */ still comment */
+fn after_blocks() {}
+
+// line comment with /* no block start
+//// ruler comment, not a doc line
+fn tail() {} // trailing

@@ -1,0 +1,21 @@
+fn raw() -> &'static str {
+    r#"plain "quoted" text"#
+}
+
+fn byte_raw() -> &'static [u8] {
+    br##"outer "#inner#" outer"##
+}
+
+fn multi() -> &'static str {
+    r"no hash
+second line"
+}
+
+fn bytes_and_chars() -> (u8, &'static [u8]) {
+    (b'q', b"bytes \"escaped\"")
+}
+
+fn raw_ident() -> u32 {
+    let r#loop = 1;
+    r#loop
+}

@@ -1,0 +1,15 @@
+//! Byte-raw strings: the v1 line scanner leaked their contents as code.
+//!
+//! `br#"…"#` fails v1's raw-string test (the `r` follows an alphanumeric
+//! `b`), so interior quotes toggle its string mode and everything between
+//! quote pairs lands in the code view. The prose and the `pub fn` below
+//! are string data; v1 reported them as doc-slash and missing-docs.
+
+/// Legend template with embedded quotes.
+pub fn legend() -> &'static [u8] {
+    br#"q "x" q
+/// not a doc comment "y"
+/ divider prose "z" said "
+pub fn phantom() {}
+"#
+}

@@ -1,0 +1,30 @@
+//! A leaked `}` closed the v1 `#[cfg(test)]` region early.
+//!
+//! The first byte-raw string leaks a `}` into v1's code view, which
+//! unwinds its brace tracking to the module level: everything after it in
+//! `mod tests` looked like library code, so `pub fn helper` was reported
+//! as missing docs. The second raw string restores v1's quote parity so
+//! the rest of the file stays visible to it.
+
+/// Documented public entry point.
+pub fn frame() -> u8 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    fn template() -> (&'static [u8], &'static [u8]) {
+        (br#"a "x" " }"#, br#"b""#)
+    }
+
+    pub fn helper() -> u8 {
+        1
+    }
+
+    #[test]
+    fn uses_template() {
+        assert_eq!(super::frame(), 0);
+        assert_eq!(helper(), 1);
+        assert!(!template().0.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Aliased imports that must not evade the import-graph lint.
+//!
+//! `anu-core` is a leaf in the allowed-dependency matrix and a sim-path
+//! crate: it may not import harness crates or `std::time` clock types,
+//! and renaming them with `use … as` must not hide the edge.
+
+use anu_harness::runner::Sweep;
+use std::collections::BTreeMap as Map;
+use std::time::Instant as Clock;
+
+/// Exercise the aliases so the fixture reads like real code.
+pub fn uses(m: &Map<u32, u32>) -> usize {
+    m.len()
+}

@@ -1,0 +1,20 @@
+//! RNG discipline violations: constant seed, stream shared across a scope.
+
+use std::thread;
+
+/// Fixed seed: draws are not a function of the experiment seed.
+pub fn fixed() -> RngStream {
+    RngStream::new(42, "costs")
+}
+
+/// One stream driven by every worker: draw order depends on scheduling.
+pub fn shared(seed: u64) {
+    let mut shared = RngStream::new(seed, "arrivals");
+    thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let _ = &mut shared;
+            });
+        }
+    });
+}

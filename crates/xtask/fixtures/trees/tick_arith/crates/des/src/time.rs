@@ -1,0 +1,11 @@
+//! Bare tick arithmetic in a designated newtype module.
+
+/// Add two tick counts.
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+/// Scale a tick count to microseconds.
+pub fn scale(a: u64) -> u64 {
+    a * 1_000
+}

@@ -1,0 +1,401 @@
+//! The `import-graph` lint: sim-path crates may only import what the
+//! committed allowed-dependency matrix grants them.
+//!
+//! The line lints (`wall-clock`, `thread-rng`, …) match *call sites*;
+//! they are blind to `use std::time::Instant as Timer;` followed by
+//! `Timer::now()`. This analysis closes that hole at the declaration:
+//! every `use` tree in a sim-path crate is parsed from the token stream
+//! into its leaf paths (aliases and grouped imports included) and checked
+//! against three rules:
+//!
+//! 1. **Crate matrix** — a sim-path crate may only name the workspace
+//!    crates listed in [`ALLOWED_DEPS`]; the harness/bench/xtask crates
+//!    are never importable from the sim path.
+//! 2. **Forbidden `std` surfaces** — `std::{time, fs, io, net, process,
+//!    env, thread}` give simulated code access to wall clocks, ambient
+//!    state, or scheduling; `std::time` is restricted to its clock types
+//!    (`Duration` is pure data and allowed).
+//! 3. **Entropy types** — `RandomState` / `DefaultHasher` seed from the
+//!    process RNG no matter how they are spelled or aliased.
+
+use crate::lexer::{LineView, Token, TokenKind};
+use crate::{FileContext, Lint};
+
+/// The committed allowed-dependency matrix for sim-path crates, keyed by
+/// crate directory. This mirrors (and pins) the `Cargo.toml` dependency
+/// edges: adding an edge here is a reviewed decision, not a side effect
+/// of editing a manifest.
+const ALLOWED_DEPS: [(&str, &[&str]); 5] = [
+    ("core", &[]),
+    ("des", &[]),
+    ("trace", &["anu_core", "anu_des"]),
+    (
+        "cluster",
+        &["anu_core", "anu_des", "anu_trace", "anu_workload"],
+    ),
+    (
+        "policies",
+        &["anu_core", "anu_des", "anu_workload", "anu_cluster"],
+    ),
+];
+
+/// `std`/`core` submodules the sim path may never touch wholesale.
+const FORBIDDEN_STD: [&str; 6] = ["fs", "io", "net", "process", "env", "thread"];
+
+/// Types within `std::time` that read clocks (`Duration` is pure data).
+const CLOCK_TYPES: [&str; 4] = ["Instant", "SystemTime", "SystemTimeError", "UNIX_EPOCH"];
+
+/// Hash types that seed from process entropy, wherever they live.
+const ENTROPY_TYPES: [&str; 2] = ["RandomState", "DefaultHasher"];
+
+/// One leaf of a parsed `use` tree.
+struct Leaf {
+    /// Full path segments from the tree root (`["std", "time", "Instant"]`);
+    /// a glob leaf ends in `"*"`.
+    path: Vec<String>,
+    /// The `as` rename, when present.
+    alias: Option<String>,
+    /// Line of the leaf's last segment.
+    line: usize,
+}
+
+/// Run the import-graph analysis over one file's tokens.
+pub(crate) fn check(
+    src: &str,
+    tokens: &[Token],
+    views: &[LineView],
+    ctx: &FileContext,
+) -> Vec<(usize, Lint, String)> {
+    if !ctx.sim_path() {
+        return Vec::new();
+    }
+    let toks: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_comment()).collect();
+    let mut out = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.kind == TokenKind::Ident && t.text(src) == "use" {
+            // `use` declarations inside #[cfg(test)] regions are exempt,
+            // like everything else in test code.
+            let in_test = views.get(t.line - 1).is_some_and(|v| v.in_test_cfg);
+            let (leaves, next) = parse_use_tree(src, &toks, i + 1);
+            if !in_test {
+                for leaf in &leaves {
+                    check_leaf(ctx, leaf, &mut out);
+                }
+            }
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Check one resolved import leaf against the three rules.
+fn check_leaf(ctx: &FileContext, leaf: &Leaf, out: &mut Vec<(usize, Lint, String)>) {
+    let Some(root) = leaf.path.first() else {
+        return;
+    };
+    let alias_note = |leaf: &Leaf| match &leaf.alias {
+        Some(a) => format!(" (aliased as `{a}`)"),
+        None => String::new(),
+    };
+
+    // Rule 1: workspace-crate matrix.
+    if root.starts_with("anu_") {
+        let allowed = ALLOWED_DEPS
+            .iter()
+            .find(|(dir, _)| *dir == ctx.crate_dir)
+            .map(|(_, deps)| *deps)
+            .unwrap_or(&[]);
+        if !allowed.contains(&root.as_str()) {
+            out.push((
+                leaf.line,
+                Lint::ImportGraph,
+                format!(
+                    "`{}` is outside the allowed-dependency matrix for sim-path crate `{}`{}",
+                    root,
+                    ctx.krate,
+                    alias_note(leaf)
+                ),
+            ));
+            return;
+        }
+    }
+
+    // Rules 2–3 concern std/core/alloc paths and entropy types.
+    let is_std_root = matches!(root.as_str(), "std" | "core" | "alloc");
+    if is_std_root {
+        if let Some(second) = leaf.path.get(1) {
+            if FORBIDDEN_STD.contains(&second.as_str()) {
+                out.push((
+                    leaf.line,
+                    Lint::ImportGraph,
+                    format!(
+                        "`{}::{}` is an ambient-state surface; sim-path code must stay a pure \
+                         function of seed and input{}",
+                        root,
+                        second,
+                        alias_note(leaf)
+                    ),
+                ));
+                return;
+            }
+            if second == "time" {
+                // The module itself, a glob, or one of the clock types:
+                // all give access to wall clocks (possibly via alias).
+                let third = leaf.path.get(2).map(String::as_str);
+                let hits_clock = match third {
+                    None => true,
+                    Some("*") => true,
+                    Some(t) => CLOCK_TYPES.contains(&t),
+                };
+                if hits_clock {
+                    out.push((
+                        leaf.line,
+                        Lint::ImportGraph,
+                        format!(
+                            "`{}` imports a wall-clock surface; aliases do not hide it \
+                             (`Duration` alone is pure data and allowed){}",
+                            leaf.path.join("::"),
+                            alias_note(leaf)
+                        ),
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+
+    // Rule 3: entropy types anywhere in the path.
+    for seg in &leaf.path {
+        if ENTROPY_TYPES.contains(&seg.as_str()) {
+            out.push((
+                leaf.line,
+                Lint::ImportGraph,
+                format!(
+                    "`{}` seeds from process entropy; deterministic code must hash with \
+                     explicit seeds{}",
+                    leaf.path.join("::"),
+                    alias_note(leaf)
+                ),
+            ));
+            return;
+        }
+    }
+}
+
+/// Parse the use tree starting after the `use` keyword at `toks[start]`.
+/// Returns the flattened leaves and the index just past the tree (the
+/// terminating `;` when well-formed).
+fn parse_use_tree(src: &str, toks: &[&Token], start: usize) -> (Vec<Leaf>, usize) {
+    let mut leaves = Vec::new();
+    let mut i = start;
+    // Leading `::` (2018-style absolute paths).
+    if toks.get(i).is_some_and(|t| t.text(src) == "::") {
+        i += 1;
+    }
+    i = parse_tree(src, toks, i, &Vec::new(), &mut leaves);
+    // Advance to just past the `;` if present; otherwise (malformed or
+    // macro-generated) stop without consuming further.
+    if toks.get(i).is_some_and(|t| t.text(src) == ";") {
+        return (leaves, i + 1);
+    }
+    (leaves, i)
+}
+
+/// Recursive descent over one branch of a use tree.
+fn parse_tree(
+    src: &str,
+    toks: &[&Token],
+    mut i: usize,
+    prefix: &[String],
+    leaves: &mut Vec<Leaf>,
+) -> usize {
+    let mut segs: Vec<String> = prefix.to_vec();
+    let mut line = toks.get(i).map(|t| t.line).unwrap_or(1);
+
+    while let Some(t) = toks.get(i) {
+        let text = t.text(src);
+        if text == "{" {
+            // Grouped subtree: recurse per comma-separated branch.
+            i += 1;
+            loop {
+                match toks.get(i).map(|t| t.text(src)) {
+                    Some("}") => {
+                        i += 1;
+                        break;
+                    }
+                    Some(",") => {
+                        i += 1;
+                    }
+                    Some(_) => {
+                        i = parse_tree(src, toks, i, &segs, leaves);
+                    }
+                    None => break,
+                }
+            }
+            return i;
+        }
+        if t.kind == TokenKind::Ident && text == "as" {
+            let alias = toks
+                .get(i + 1)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text(src).to_string());
+            let step = if alias.is_some() { 2 } else { 1 };
+            if !segs.is_empty() {
+                leaves.push(Leaf {
+                    path: segs,
+                    alias,
+                    line,
+                });
+            }
+            return i + step;
+        }
+        if t.kind == TokenKind::Ident || text == "*" {
+            segs.push(text.to_string());
+            line = t.line;
+            i += 1;
+            if toks.get(i).is_some_and(|t| t.text(src) == "::") {
+                i += 1;
+                continue;
+            }
+            // End of this branch (`,`, `}`, `;`, or `as` handled above).
+            if toks
+                .get(i)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text(src) == "as")
+            {
+                continue;
+            }
+            leaves.push(Leaf {
+                path: segs,
+                alias: None,
+                line,
+            });
+            return i;
+        }
+        // Anything else ends the branch.
+        break;
+    }
+    if !segs.is_empty() && segs.len() > prefix.len() {
+        leaves.push(Leaf {
+            path: segs,
+            alias: None,
+            line,
+        });
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn findings(src: &str, crate_dir: &str) -> Vec<(usize, Lint, String)> {
+        let ctx = FileContext {
+            rel: format!("crates/{crate_dir}/src/lib.rs"),
+            krate: format!("anu-{crate_dir}"),
+            crate_dir: crate_dir.to_string(),
+            library: true,
+        };
+        let tokens = lexer::lex(src);
+        let views = lexer::line_views(src, &tokens);
+        check(src, &tokens, &views, &ctx)
+    }
+
+    #[test]
+    fn allowed_matrix_edges_pass() {
+        assert!(findings("use anu_core::interval::Pos;\n", "trace").is_empty());
+        assert!(findings("use anu_workload::Job;\n", "cluster").is_empty());
+        assert!(findings("use std::collections::BTreeMap;\n", "core").is_empty());
+        assert!(findings("use std::fmt;\n", "des").is_empty());
+    }
+
+    #[test]
+    fn harness_import_from_sim_path_fails() {
+        let f = findings("use anu_harness::runner::Runner;\n", "core");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1, Lint::ImportGraph);
+        assert!(f[0].2.contains("anu_harness"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn matrix_respects_direction() {
+        // trace may use core, but core may not use trace.
+        assert!(findings("use anu_des::time::SimTime;\n", "trace").is_empty());
+        assert_eq!(findings("use anu_trace::Event;\n", "core").len(), 1);
+        // cluster may not reach policies (it is the other way around).
+        assert_eq!(
+            findings("use anu_policies::anu::Anu;\n", "cluster").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn aliased_std_time_is_caught() {
+        let f = findings("use std::time as t;\n", "des");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].2.contains("aliased as `t`"), "{}", f[0].2);
+        let f = findings("use std::time::Instant as Timer;\n", "core");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].2.contains("Timer"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn duration_alone_is_allowed() {
+        assert!(findings("use std::time::Duration;\n", "des").is_empty());
+        // But a glob over std::time is not.
+        assert_eq!(findings("use std::time::*;\n", "des").len(), 1);
+    }
+
+    #[test]
+    fn grouped_imports_check_each_leaf() {
+        let f = findings(
+            "use std::{fmt, io::Write, collections::BTreeMap};\n",
+            "core",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].2.contains("std::io"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn entropy_types_caught_through_alias() {
+        let f = findings(
+            "use std::collections::hash_map::RandomState as Hasher;\n",
+            "cluster",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].2.contains("entropy"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn forbidden_std_surfaces() {
+        for m in ["fs", "io", "net", "process", "env", "thread"] {
+            let f = findings(&format!("use std::{m};\n"), "policies");
+            assert_eq!(f.len(), 1, "std::{m} must be flagged");
+        }
+    }
+
+    #[test]
+    fn cfg_test_imports_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::io::Write;\n}\n";
+        assert!(findings(src, "core").is_empty());
+    }
+
+    #[test]
+    fn non_sim_crates_are_out_of_scope() {
+        let ctx = FileContext {
+            rel: "crates/harness/src/lib.rs".into(),
+            krate: "anu-harness".into(),
+            crate_dir: "harness".into(),
+            library: true,
+        };
+        let src = "use std::time::Instant;\n";
+        let tokens = lexer::lex(src);
+        let views = lexer::line_views(src, &tokens);
+        assert!(check(src, &tokens, &views, &ctx).is_empty());
+    }
+}

@@ -1,0 +1,615 @@
+//! The v1 line-oriented scanner, frozen as a reference implementation.
+//!
+//! The live driver (see [`crate::scan_workspace`]) runs on the token
+//! stream from [`crate::lexer`]. This module preserves the previous
+//! textual strip-and-match scanner *verbatim* so the fixture corpus can
+//! diff old-scanner vs new-scanner reports: the ten original lints must
+//! reproduce identical findings on well-formed input, and the known v1
+//! false-positive classes (byte raw strings leaking into the code view,
+//! `#[cfg(test)]` brace desync) must show up here and *only* here.
+//!
+//! Nothing in this module should be edited except to delete it once the
+//! differential tests have served their purpose.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::{classify, FileContext, Lint, Report, Violation, WaiverRecord};
+
+/// Scan the workspace rooted at `root` with the v1 line scanner.
+///
+/// Same traversal contract as [`crate::scan_workspace`]: library sources
+/// of the root package and every `crates/*` member. The report's
+/// `waived_by_lint` tallies are left empty (the field postdates v1).
+pub fn scan_workspace_legacy(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let src = entry.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let Some(ctx) = classify(root, &path) else {
+            continue;
+        };
+        let text = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        scan_file(&text, &ctx, &mut report);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    report
+        .waivers
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(report)
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A waiver parsed from a source line.
+#[derive(Clone, Debug, Default)]
+struct LineInfo {
+    /// Code with comments and string/char literal contents blanked out.
+    code: String,
+    /// Lints waived on this line (applies to this line and the next).
+    waived: Vec<Lint>,
+    /// The waiver's written justification, when one was parsed.
+    waiver_reason: Option<String>,
+    /// A waiver comment was present but malformed.
+    bad_waiver: Option<String>,
+    /// The line is a `///` or `//!` doc comment.
+    doc_comment: bool,
+    /// The raw line begins with exactly one `/` (not a comment): either a
+    /// division continuation or a doc line that lost slashes.
+    doc_slash: bool,
+    /// The line is inside (or opens) a `#[cfg(test)]` module.
+    in_test_cfg: bool,
+}
+
+/// Scan one file's text, appending findings to `report`.
+fn scan_file(text: &str, ctx: &FileContext, report: &mut Report) {
+    let lines = analyze_lines(text);
+
+    let mut pending: Vec<(usize, Lint, String)> = Vec::new();
+
+    for (idx, info) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if let Some(reason) = &info.bad_waiver {
+            pending.push((lineno, Lint::Waiver, reason.clone()));
+            continue;
+        }
+        if info.in_test_cfg {
+            continue;
+        }
+        // A single-`/` line is only suspicious right next to a doc
+        // comment: there it is almost certainly a `///` line that lost
+        // slashes (rustc parses it as division and the diagnostics are
+        // baffling). Division continuations sit between code lines and
+        // never trip this.
+        if info.doc_slash {
+            let beside_doc = (idx > 0 && lines[idx - 1].doc_comment)
+                || lines.get(idx + 1).is_some_and(|l| l.doc_comment);
+            if beside_doc {
+                pending.push((
+                    lineno,
+                    Lint::DocSlash,
+                    "line starts with a single `/` beside a doc comment; a `///` doc line lost its slashes".to_string(),
+                ));
+            }
+        }
+        let code = info.code.as_str();
+
+        if ctx.sim_path() {
+            for token in ["Instant::now", "SystemTime"] {
+                if code.contains(token) {
+                    pending.push((
+                        lineno,
+                        Lint::WallClock,
+                        format!("`{token}` reads the wall clock; simulations must be a pure function of seed and input"),
+                    ));
+                }
+            }
+            for token in [
+                "thread_rng",
+                "ThreadRng",
+                "from_entropy",
+                "OsRng",
+                "getrandom",
+            ] {
+                if contains_word(code, token) {
+                    pending.push((
+                        lineno,
+                        Lint::ThreadRng,
+                        format!("`{token}` draws ambient entropy; use a seeded RngStream"),
+                    ));
+                }
+            }
+            for token in ["HashMap", "HashSet"] {
+                if contains_word(code, token) {
+                    pending.push((
+                        lineno,
+                        Lint::HashIteration,
+                        format!(
+                            "`{token}` has nondeterministic iteration order; use BTreeMap/BTreeSet"
+                        ),
+                    ));
+                }
+            }
+        }
+        if ctx.fixed_point() {
+            if contains_word(code, "as") && !code.trim_start().starts_with("use ") {
+                pending.push((
+                    lineno,
+                    Lint::AsCast,
+                    "bare `as` cast in fixed-point arithmetic; use the checked num helpers"
+                        .to_string(),
+                ));
+            }
+            if (code.contains("==") || code.contains("!=")) && mentions_float(code) {
+                pending.push((
+                    lineno,
+                    Lint::FloatCmp,
+                    "float equality in fixed-point arithmetic; compare exact fixed-point units"
+                        .to_string(),
+                ));
+            }
+        }
+        if ctx.library {
+            for (token, what) in [
+                (".unwrap()", "`.unwrap()`"),
+                (".expect(", "`.expect()`"),
+                ("panic!(", "`panic!`"),
+            ] {
+                if code.contains(token) {
+                    pending.push((
+                        lineno,
+                        Lint::Panic,
+                        format!("{what} in library code; return Result or restructure"),
+                    ));
+                }
+            }
+            for token in ["println!", "eprintln!", "print!", "eprint!"] {
+                if contains_word(code, token) {
+                    pending.push((
+                        lineno,
+                        Lint::Print,
+                        format!("`{token}` in library code; emit a trace event or return the text to the caller"),
+                    ));
+                }
+            }
+            if let Some(item) = pub_item_name(code) {
+                let cov = report.doc_coverage.entry(ctx.krate.clone()).or_default();
+                cov.total += 1;
+                if is_documented(&lines, idx) {
+                    cov.documented += 1;
+                } else {
+                    pending.push((
+                        lineno,
+                        Lint::MissingDocs,
+                        format!("public item `{item}` has no doc comment"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Apply waivers: a waiver on line N covers violations on N and N+1.
+    let mut waiver_used = vec![false; lines.len()];
+    for (lineno, lint, message) in pending {
+        let own = lines
+            .get(lineno - 1)
+            .map(|l| l.waived.contains(&lint))
+            .unwrap_or(false);
+        let above = lineno >= 2
+            && lines
+                .get(lineno - 2)
+                .map(|l| l.waived.contains(&lint))
+                .unwrap_or(false);
+        if lint != Lint::Waiver && (own || above) {
+            report.waived += 1;
+            let at = if own { lineno - 1 } else { lineno - 2 };
+            waiver_used[at] = true;
+        } else {
+            report.violations.push(Violation {
+                lint,
+                file: ctx.rel.clone(),
+                line: lineno,
+                message,
+            });
+        }
+    }
+
+    // Record every well-formed waiver for the audit, used or not.
+    for (idx, info) in lines.iter().enumerate() {
+        if info.waived.is_empty() {
+            continue;
+        }
+        report.waivers.push(WaiverRecord {
+            file: ctx.rel.clone(),
+            line: idx + 1,
+            lints: info.waived.clone(),
+            reason: info.waiver_reason.clone().unwrap_or_default(),
+            used: waiver_used[idx],
+        });
+    }
+}
+
+/// Does `code` contain `word` delimited by non-identifier characters?
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+/// Heuristic: does the line mention floating-point values (a float literal
+/// like `1.5`, or the `f32`/`f64` type names)?
+fn mentions_float(code: &str) -> bool {
+    if contains_word(code, "f64") || contains_word(code, "f32") {
+        return true;
+    }
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// If `code` declares a `pub` item, return the item's name.
+fn pub_item_name(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("pub ")?;
+    // `pub(crate)` / `pub(super)` items are not part of the public API.
+    let mut tokens = rest.split_whitespace().peekable();
+    // Skip qualifiers to find the item keyword.
+    let mut keyword = None;
+    while let Some(&tok) = tokens.peek() {
+        match tok {
+            "const" => {
+                // `pub const fn` is a function; `pub const NAME` a constant.
+                let mut clone = tokens.clone();
+                clone.next();
+                if clone.peek() == Some(&"fn") {
+                    tokens.next();
+                    continue;
+                }
+                keyword = Some("const");
+                tokens.next();
+                break;
+            }
+            "async" | "unsafe" | "extern" => {
+                tokens.next();
+            }
+            "fn" | "struct" | "enum" | "trait" | "mod" | "static" | "type" | "union" => {
+                keyword = Some(tok);
+                tokens.next();
+                break;
+            }
+            _ => return None,
+        }
+    }
+    let kw = keyword?;
+    let name = tokens.next()?;
+    // `pub mod foo;` declares an external module whose documentation lives
+    // as `//!` inner docs in the module file.
+    if kw == "mod" && trimmed.trim_end().ends_with(';') {
+        return None;
+    }
+    let name: String = name
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Is the `pub` item on `idx` preceded by a doc comment (skipping
+/// attributes)?
+fn is_documented(lines: &[LineInfo], idx: usize) -> bool {
+    let mut i = idx;
+    let mut attr_depth: i32 = 0;
+    while i > 0 {
+        i -= 1;
+        let info = &lines[i];
+        if info.doc_comment {
+            return true;
+        }
+        let t = info.code.trim();
+        let opens = t.chars().filter(|&c| c == '[').count() as i32;
+        let closes = t.chars().filter(|&c| c == ']').count() as i32;
+        if t.starts_with("#[") || attr_depth > 0 {
+            attr_depth += opens - closes;
+            continue;
+        }
+        if t.is_empty() {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Split `text` into lines with comments/strings blanked, waivers parsed,
+/// and `#[cfg(test)]` regions marked.
+fn analyze_lines(text: &str) -> Vec<LineInfo> {
+    let (stripped, comments) = strip_non_code(text);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    let comment_lines: Vec<&str> = comments.lines().collect();
+
+    let mut out = Vec::with_capacity(raw_lines.len());
+    let mut test_depth: i32 = -1; // brace depth when a cfg(test) region closes
+    let mut depth: i32 = 0;
+    let mut pending_test_cfg = false;
+
+    for (i, raw) in raw_lines.iter().enumerate() {
+        let code = code_lines.get(i).copied().unwrap_or("").to_string();
+        let mut info = LineInfo {
+            code,
+            ..LineInfo::default()
+        };
+        let trimmed_raw = raw.trim_start();
+        info.doc_comment = trimmed_raw.starts_with("///") || trimmed_raw.starts_with("//!");
+        info.doc_slash =
+            (trimmed_raw.starts_with("/ ") || trimmed_raw == "/") && !info.code.trim().is_empty();
+
+        let cmt = comment_lines.get(i).copied().unwrap_or("");
+        if !info.doc_comment {
+            if let Some(pos) = cmt.find("anu-lint:") {
+                crate::parse_waiver_into(
+                    &cmt[pos..],
+                    &mut info.waived,
+                    &mut info.waiver_reason,
+                    &mut info.bad_waiver,
+                );
+            }
+        }
+
+        // cfg(test) region tracking, on the code view.
+        let t = info.code.trim();
+        if t.starts_with("#[cfg(") && t.contains("test") {
+            pending_test_cfg = true;
+        }
+        let opens = info.code.chars().filter(|&c| c == '{').count() as i32;
+        let closes = info.code.chars().filter(|&c| c == '}').count() as i32;
+        let in_test = test_depth >= 0;
+        if pending_test_cfg && opens > 0 {
+            test_depth = depth;
+            pending_test_cfg = false;
+            info.in_test_cfg = true;
+        } else {
+            info.in_test_cfg = in_test || pending_test_cfg;
+        }
+        depth += opens - closes;
+        if test_depth >= 0 && depth <= test_depth {
+            test_depth = -1;
+        }
+        out.push(info);
+    }
+    out
+}
+
+/// Produce two parallel views of `text`, both preserving line structure:
+/// a *code view* with comments and string/char-literal contents blanked,
+/// and a *comment view* with everything except comment text blanked.
+fn strip_non_code(text: &str) -> (String, String) {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut cmt = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Push a byte to the code view and blank it in the comment view.
+    fn code(out: &mut Vec<u8>, cmt: &mut Vec<u8>, b: u8) {
+        out.push(b);
+        cmt.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+    // Push a byte to the comment view and blank it in the code view.
+    fn comment(out: &mut Vec<u8>, cmt: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+        cmt.push(b);
+    }
+    // Blank a byte in both views.
+    fn neither(out: &mut Vec<u8>, cmt: &mut Vec<u8>, b: u8) {
+        let keep = if b == b'\n' { b'\n' } else { b' ' };
+        out.push(keep);
+        cmt.push(keep);
+    }
+
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut mode = Mode::Code;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match mode {
+            Mode::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        comment(&mut out, &mut cmt, bytes[i]);
+                        i += 1;
+                    }
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(1);
+                    comment(&mut out, &mut cmt, b'/');
+                    comment(&mut out, &mut cmt, b'*');
+                    i += 2;
+                } else if b == b'r'
+                    && (bytes.get(i + 1) == Some(&b'"') || bytes.get(i + 1) == Some(&b'#'))
+                    && (i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_'))
+                {
+                    // Raw string r"..." or r#"..."# etc. NOTE: the prefix
+                    // test above is exactly the v1 bug the lexer fixes —
+                    // `br#"…"#` is rejected here because the `r` follows
+                    // an alphanumeric `b`, so its contents leak as code.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        for _ in 0..hashes + 2 {
+                            neither(&mut out, &mut cmt, b' ');
+                        }
+                        i = j + 1;
+                        mode = Mode::RawStr(hashes);
+                    } else {
+                        code(&mut out, &mut cmt, b);
+                        i += 1;
+                    }
+                } else if b == b'"' {
+                    code(&mut out, &mut cmt, b'"');
+                    i += 1;
+                    mode = Mode::Str;
+                } else if b == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        code(&mut out, &mut cmt, b'\'');
+                        i += 1;
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            neither(&mut out, &mut cmt, b' ');
+                            i += 1;
+                        }
+                        if i < bytes.len() {
+                            code(&mut out, &mut cmt, b'\'');
+                            i += 1;
+                        }
+                    } else if bytes.get(i + 2) == Some(&b'\'') {
+                        code(&mut out, &mut cmt, b'\'');
+                        neither(&mut out, &mut cmt, b' ');
+                        code(&mut out, &mut cmt, b'\'');
+                        i += 3;
+                    } else {
+                        code(&mut out, &mut cmt, b);
+                        i += 1;
+                    }
+                } else {
+                    code(&mut out, &mut cmt, b);
+                    i += 1;
+                }
+            }
+            Mode::Block(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(depth + 1);
+                    comment(&mut out, &mut cmt, b'/');
+                    comment(&mut out, &mut cmt, b'*');
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth > 1 {
+                        Mode::Block(depth - 1)
+                    } else {
+                        Mode::Code
+                    };
+                    comment(&mut out, &mut cmt, b'*');
+                    comment(&mut out, &mut cmt, b'/');
+                    i += 2;
+                } else {
+                    comment(&mut out, &mut cmt, b);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b == b'\\' {
+                    neither(&mut out, &mut cmt, b' ');
+                    neither(
+                        &mut out,
+                        &mut cmt,
+                        bytes.get(i + 1).copied().unwrap_or(b' '),
+                    );
+                    i += 2;
+                } else if b == b'"' {
+                    code(&mut out, &mut cmt, b'"');
+                    i += 1;
+                    mode = Mode::Code;
+                } else {
+                    neither(&mut out, &mut cmt, b);
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes + 1 {
+                            neither(&mut out, &mut cmt, b' ');
+                        }
+                        i += hashes + 1;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                neither(&mut out, &mut cmt, b);
+                i += 1;
+            }
+        }
+    }
+    (
+        String::from_utf8_lossy(&out).into_owned(),
+        String::from_utf8_lossy(&cmt).into_owned(),
+    )
+}

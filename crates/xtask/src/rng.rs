@@ -1,0 +1,373 @@
+//! The `rng-discipline` lint: every `RngStream` must be derived from the
+//! experiment seed with a literal fork label, and never visibly shared
+//! across `thread::scope` closures.
+//!
+//! The parallel sweep engine only reproduces byte-identical results at
+//! any `--jobs N` because every task draws from its own stream, forked
+//! deterministically from `task_seed(base_seed, task_id)` plus a stable
+//! label. Two mistakes silently break that:
+//!
+//! 1. seeding a stream from anything other than the experiment seed
+//!    (a loop index, a constant, another stream's output), or forking
+//!    without a stable label — draws stop being a pure function of
+//!    (seed, membership);
+//! 2. moving one stream into several `thread::scope` closures — draw
+//!    order then depends on thread interleaving.
+//!
+//! This analysis finds `RngStream::new(seed, label)` /
+//! `RngStream::for_task(base, task, label)` construction sites in the
+//! token stream and checks the seed argument mentions the experiment
+//! seed (`task_seed`, `seed`, `*_seed`, `cfg.seed`, …) and the label
+//! argument contains a string literal. It also records `let` bindings of
+//! streams and flags any such binding referenced inside a `spawn(…)`
+//! closure of a later `thread::scope` region. It is a visibility
+//! heuristic, not a borrow checker: streams smuggled through structs are
+//! out of scope (and caught at review), but the patterns that actually
+//! appear in sweep code are covered.
+
+use crate::lexer::{LineView, Token, TokenKind};
+use crate::{FileContext, Lint};
+
+/// Run the RNG-discipline analysis over one file's tokens.
+pub(crate) fn check(
+    src: &str,
+    tokens: &[Token],
+    views: &[LineView],
+    ctx: &FileContext,
+) -> Vec<(usize, Lint, String)> {
+    if !ctx.library {
+        return Vec::new();
+    }
+    let toks: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_comment()).collect();
+    let mut out = Vec::new();
+    let in_test = |line: usize| views.get(line - 1).is_some_and(|v| v.in_test_cfg);
+
+    // Pass 1: construction sites + stream bindings.
+    let mut bindings: Vec<(String, usize)> = Vec::new(); // (name, token index)
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokenKind::Ident && toks[i].text(src) == "RngStream") {
+            continue;
+        }
+        // Record `let [mut] name = RngStream::…` / `let name: RngStream`.
+        if let Some(name) = binding_name(src, &toks, i) {
+            bindings.push((name, i));
+        }
+        let Some(method) = toks
+            .get(i + 1)
+            .filter(|t| t.text(src) == "::")
+            .and_then(|_| toks.get(i + 2))
+            .map(|t| t.text(src))
+        else {
+            continue;
+        };
+        if !matches!(method, "new" | "for_task") {
+            continue;
+        }
+        if toks.get(i + 3).map(|t| t.text(src)) != Some("(") {
+            continue;
+        }
+        if in_test(toks[i].line) {
+            continue;
+        }
+        let args = split_args(src, &toks, i + 3);
+        let (seed_ok, label_ok, label_pos) = match (method, args.len()) {
+            ("new", 2) => (arg_mentions_seed(&args[0]), arg_has_literal(&args[1]), 1),
+            ("for_task", 3) => (arg_mentions_seed(&args[0]), arg_has_literal(&args[2]), 2),
+            // Different arity: not the constructor shape we police
+            // (e.g. mentioned in a path or a changed API).
+            _ => continue,
+        };
+        if !seed_ok {
+            out.push((
+                toks[i].line,
+                Lint::RngDiscipline,
+                format!(
+                    "`RngStream::{method}` seeded from `{}`; derive it from the experiment seed \
+                     (`task_seed(...)` or a `*seed` value) so draws are a pure function of seed \
+                     and membership",
+                    args.first()
+                        .map(|a| a.text.trim().to_string())
+                        .unwrap_or_default()
+                ),
+            ));
+        }
+        if !label_ok {
+            out.push((
+                toks[i].line,
+                Lint::RngDiscipline,
+                format!(
+                    "`RngStream::{method}` fork label `{}` is not a string literal; stable \
+                     literal labels keep streams decorrelated and reproducible",
+                    args.get(label_pos)
+                        .map(|a| a.text.trim().to_string())
+                        .unwrap_or_default()
+                ),
+            ));
+        }
+    }
+
+    // Pass 2: streams shared across thread::scope closures.
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_scope = toks[i].text(src) == "thread"
+            && toks[i + 1].text(src) == "::"
+            && toks[i + 2].text(src) == "scope";
+        if !is_scope {
+            i += 1;
+            continue;
+        }
+        let Some(open) = toks
+            .get(i + 3)
+            .filter(|t| t.text(src) == "(")
+            .map(|_| i + 3)
+        else {
+            i += 3;
+            continue;
+        };
+        let close = matching_paren(src, &toks, open);
+        // Bindings made before the scope region are outer streams.
+        let outer: Vec<&(String, usize)> = bindings.iter().filter(|(_, bi)| *bi < i).collect();
+        let mut flagged: Vec<&str> = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            if toks[j].text(src) == "spawn" && toks.get(j + 1).is_some_and(|t| t.text(src) == "(") {
+                let sp_close = matching_paren(src, &toks, j + 1);
+                for &t in &toks[j + 2..sp_close] {
+                    if t.kind != TokenKind::Ident {
+                        continue;
+                    }
+                    let name = t.text(src);
+                    if outer.iter().any(|(n, _)| n == name)
+                        && !flagged.contains(&name)
+                        && !in_test(t.line)
+                    {
+                        flagged.push(name);
+                        out.push((
+                            t.line,
+                            Lint::RngDiscipline,
+                            format!(
+                                "RngStream `{name}` is shared across `thread::scope` closures; \
+                                 derive a per-task stream from `task_seed` inside each task"
+                            ),
+                        ));
+                    }
+                }
+                j = sp_close;
+            }
+            j += 1;
+        }
+        i = close + 1;
+    }
+
+    out
+}
+
+/// One comma-separated top-level argument of a call.
+struct Arg {
+    /// The argument's source text (token texts joined by spaces).
+    text: String,
+    /// Kinds of the argument's tokens.
+    kinds: Vec<TokenKind>,
+    /// Ident texts within the argument.
+    idents: Vec<String>,
+}
+
+/// Split the balanced parenthesized call starting at `toks[open]` (a `(`)
+/// into top-level comma-separated arguments.
+fn split_args(src: &str, toks: &[&Token], open: usize) -> Vec<Arg> {
+    let close = matching_paren(src, toks, open);
+    let mut args = Vec::new();
+    let mut cur = Arg {
+        text: String::new(),
+        kinds: Vec::new(),
+        idents: Vec::new(),
+    };
+    let mut depth = 0i32;
+    for &t in &toks[open + 1..close] {
+        let text = t.text(src);
+        match text {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                args.push(cur);
+                cur = Arg {
+                    text: String::new(),
+                    kinds: Vec::new(),
+                    idents: Vec::new(),
+                };
+                continue;
+            }
+            _ => {}
+        }
+        if !cur.text.is_empty() {
+            cur.text.push(' ');
+        }
+        cur.text.push_str(text);
+        cur.kinds.push(t.kind);
+        if t.kind == TokenKind::Ident {
+            cur.idents.push(text.to_string());
+        }
+    }
+    if !cur.text.is_empty() || !args.is_empty() {
+        args.push(cur);
+    }
+    args
+}
+
+/// Index of the `)` matching the `(` at `toks[open]` (or the last token).
+fn matching_paren(src: &str, toks: &[&Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        match toks[k].text(src) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Does the seed argument visibly derive from the experiment seed?
+fn arg_mentions_seed(arg: &Arg) -> bool {
+    arg.idents.iter().any(|id| {
+        id == "seed" || id.ends_with("_seed") || id == "task_seed" || id.starts_with("seed_")
+    })
+}
+
+/// Does the label argument contain a string literal?
+fn arg_has_literal(arg: &Arg) -> bool {
+    arg.kinds
+        .iter()
+        .any(|k| matches!(k, TokenKind::Str | TokenKind::RawStr | TokenKind::ByteStr))
+}
+
+/// If `toks[rng_idx]` (an `RngStream` ident) sits in a `let` binding,
+/// return the bound name: `let [mut] NAME [: RngStream] = RngStream::…`.
+fn binding_name(src: &str, toks: &[&Token], rng_idx: usize) -> Option<String> {
+    // Walk back over `=` or over a `: RngStream` type ascription.
+    let mut i = rng_idx;
+    // Previous token is `:` (type ascription) or `=` (the initializer).
+    if i >= 1 && matches!(toks[i - 1].text(src), ":" | "=") {
+        i -= 1;
+    } else {
+        return None;
+    }
+    let name_tok = toks.get(i.checked_sub(1)?)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text(src);
+    let before = toks.get(i.checked_sub(2)?)?.text(src);
+    if before == "let" || (before == "mut" && toks.get(i.checked_sub(3)?)?.text(src) == "let") {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn findings(src: &str) -> Vec<(usize, Lint, String)> {
+        let ctx = FileContext {
+            rel: "crates/harness/src/runner.rs".into(),
+            krate: "anu-harness".into(),
+            crate_dir: "harness".into(),
+            library: true,
+        };
+        let tokens = lexer::lex(src);
+        let views = lexer::line_views(src, &tokens);
+        check(src, &tokens, &views, &ctx)
+    }
+
+    #[test]
+    fn seed_derived_streams_pass() {
+        for src in [
+            "fn f(seed: u64) { let r = RngStream::new(seed, \"arrivals\"); }\n",
+            "fn f(base_seed: u64, id: u64) { let r = RngStream::for_task(base_seed, id, \"svc\"); }\n",
+            "fn f(cfg: &Cfg) { let r = RngStream::new(cfg.seed, \"jitter\"); }\n",
+            "fn f(s: u64, t: u64) { let r = RngStream::new(task_seed(s, t), \"x\"); }\n",
+        ] {
+            assert!(findings(src).is_empty(), "false positive on: {src}");
+        }
+    }
+
+    #[test]
+    fn constant_seed_is_flagged() {
+        let f = findings("fn f() { let r = RngStream::new(42, \"arrivals\"); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].2.contains("seeded from `42`"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn loop_index_seed_is_flagged() {
+        let f = findings("fn f(i: u64) { let r = RngStream::new(i, \"x\"); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn non_literal_label_is_flagged() {
+        let f = findings("fn f(seed: u64, label: &str) { let r = RngStream::new(seed, label); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].2.contains("fork label"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn format_label_with_literal_passes() {
+        // A formatted label still embeds a literal prefix — allowed (the
+        // stable part is visible).
+        let src =
+            "fn f(seed: u64, i: u64) { let r = RngStream::new(seed, &format!(\"task-{i}\")); }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn shared_stream_across_scope_is_flagged() {
+        let src = "\
+fn f(seed: u64) {
+    let mut shared = RngStream::new(seed, \"sweep\");
+    std::thread::scope(|s| {
+        s.spawn(|| shared.next_u64());
+    });
+}
+";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].2.contains("shared across `thread::scope`"),
+            "{}",
+            f[0].2
+        );
+    }
+
+    #[test]
+    fn per_task_stream_inside_scope_passes() {
+        let src = "\
+fn f(seed: u64) {
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut rng = RngStream::for_task(seed, 3, \"task\");
+            rng.next_u64()
+        });
+    });
+}
+";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let r = RngStream::new(7, \"p\"); }\n}\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! The `tick-arith` lint: arithmetic on tick and fixed-point values must
+//! go through saturating/checked helpers in the designated newtype
+//! modules.
+//!
+//! `SimTime`/`SimDuration` (µs ticks in a `u64`) and interval positions
+//! (`Pos`, 64-bit fixed point) are the two places where a silent wrap
+//! would corrupt *every* downstream figure while staying bitwise
+//! deterministic — the worst kind of bug, invisible to the determinism
+//! gates. Inside their home modules ([`DESIGNATED`]) this lint flags
+//! every bare binary `+` `-` `*` (and `+=` `-=` `*=`): the operators
+//! must be implemented in terms of `saturating_add`/`saturating_sub`/
+//! `saturating_mul` or the checked `anu_core::num` helpers, so overflow
+//! is impossible by construction rather than by argument.
+//!
+//! Pure float arithmetic is exempt (floats saturate to ±inf on their
+//! own): an operator whose neighboring operand is a float literal or an
+//! `f32`/`f64` ident is skipped. Unary minus, derefs, and generic
+//! brackets are distinguished from binary operators on the token stream.
+
+use crate::lexer::{self, LineView, Token, TokenKind};
+use crate::{FileContext, Lint};
+
+/// The tick/fixed-point newtype modules, as (crate dir, basename).
+const DESIGNATED: [(&str, &str); 2] = [("des", "time.rs"), ("core", "interval.rs")];
+
+/// Binary operators that must not appear bare on tick values.
+const OPS: [&str; 6] = ["+", "-", "*", "+=", "-=", "*="];
+
+/// Keywords that end a statement/expression context: an operator right
+/// after one of these is a unary sign, not binary arithmetic.
+const NON_VALUE_KEYWORDS: [&str; 9] = [
+    "return", "break", "continue", "if", "else", "match", "in", "while", "where",
+];
+
+/// Run the tick-arithmetic analysis over one file's tokens.
+pub(crate) fn check(
+    src: &str,
+    tokens: &[Token],
+    views: &[LineView],
+    ctx: &FileContext,
+) -> Vec<(usize, Lint, String)> {
+    if !DESIGNATED
+        .iter()
+        .any(|(dir, base)| *dir == ctx.crate_dir && *base == ctx.basename())
+    {
+        return Vec::new();
+    }
+    let toks: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_comment()).collect();
+    let mut out = Vec::new();
+
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        let op = t.text(src);
+        if !OPS.contains(&op) {
+            continue;
+        }
+        if views.get(t.line - 1).is_some_and(|v| v.in_test_cfg) {
+            continue;
+        }
+        // Binary only: the previous token must end a value.
+        let Some(prev) = i.checked_sub(1).map(|p| toks[p]) else {
+            continue;
+        };
+        let prev_text = prev.text(src);
+        let prev_is_value = match prev.kind {
+            TokenKind::Ident => !NON_VALUE_KEYWORDS.contains(&prev_text),
+            TokenKind::Number | TokenKind::CharLit | TokenKind::Str => true,
+            TokenKind::Punct => matches!(prev_text, ")" | "]" | "?"),
+            _ => false,
+        };
+        if !prev_is_value {
+            continue;
+        }
+        // Float exemption: a float literal or f32/f64 ident on either side.
+        let next = toks.get(i + 1);
+        let is_floaty = |tok: &Token| match tok.kind {
+            TokenKind::Number => lexer::is_float_literal(tok.text(src)),
+            TokenKind::Ident => matches!(tok.text(src), "f32" | "f64"),
+            _ => false,
+        };
+        if is_floaty(prev) || next.is_some_and(|n| is_floaty(n)) {
+            continue;
+        }
+        out.push((
+            t.line,
+            Lint::TickArith,
+            format!(
+                "bare `{op}` on tick/fixed-point values; use `saturating_add`/`saturating_sub`/\
+                 `saturating_mul` or the checked `num` helpers so overflow is impossible by \
+                 construction"
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn findings(src: &str, crate_dir: &str, base: &str) -> Vec<(usize, Lint, String)> {
+        let ctx = FileContext {
+            rel: format!("crates/{crate_dir}/src/{base}"),
+            krate: format!("anu-{crate_dir}"),
+            crate_dir: crate_dir.to_string(),
+            library: true,
+        };
+        let tokens = lexer::lex(src);
+        let views = lexer::line_views(src, &tokens);
+        check(src, &tokens, &views, &ctx)
+    }
+
+    #[test]
+    fn bare_add_in_time_rs_is_flagged() {
+        let f = findings("fn f(a: u64, b: u64) -> u64 { a + b }\n", "des", "time.rs");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].1, Lint::TickArith);
+    }
+
+    #[test]
+    fn saturating_helpers_pass() {
+        let src = "fn f(a: u64, b: u64) -> u64 { a.saturating_add(b).saturating_mul(2) }\n";
+        assert!(findings(src, "des", "time.rs").is_empty());
+    }
+
+    #[test]
+    fn compound_assign_is_flagged() {
+        let f = findings("fn f(a: &mut u64, b: u64) { *a += b; }\n", "des", "time.rs");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn unary_minus_and_deref_pass() {
+        for src in [
+            "fn f(a: i64) -> i64 { -a }\n",
+            "fn f() -> i64 { return -1; }\n",
+            "fn f(p: &u64) -> u64 { *p }\n",
+            "fn g(xs: &[i64]) -> i64 { xs[0] }\n",
+        ] {
+            assert!(
+                findings(src, "core", "interval.rs").is_empty(),
+                "false positive on: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_arithmetic_is_exempt() {
+        for src in [
+            "fn f(s: f64) -> f64 { s * 1e6 }\n",
+            "fn f(x: f64) -> f64 { x - 1.0 }\n",
+            "fn f(x: u64) -> f64 { x as f64 * 0.5 }\n",
+        ] {
+            assert!(
+                findings(src, "des", "time.rs").is_empty(),
+                "false positive on: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_multiply_is_flagged() {
+        let f = findings("fn f(s: u64) -> u64 { s * 1_000_000 }\n", "des", "time.rs");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn only_designated_files_are_checked() {
+        let src = "fn f(a: u64, b: u64) -> u64 { a + b }\n";
+        assert!(findings(src, "des", "calendar.rs").is_empty());
+        assert!(findings(src, "core", "shares.rs").is_empty());
+        assert!(findings(src, "cluster", "time.rs").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() -> u64 { 1 + 2 }\n}\n";
+        assert!(findings(src, "des", "time.rs").is_empty());
+    }
+
+    #[test]
+    fn generic_angle_brackets_do_not_confuse() {
+        // `Vec<u64>` etc: `>` is not in OPS; `-` after `>` is unary-ish
+        // but `>` is not a value end… it is Punct and not in the list, so
+        // `-` after a generic close would be skipped. Real subtraction
+        // after a cast or call still flags.
+        let f = findings("fn f(a: u64) -> u64 { a.max(1) - 1 }\n", "des", "time.rs");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Differential tests: the token-based scanner against the frozen v1
+//! line scanner (`anu_xtask::legacy`).
+//!
+//! On the v1 fixture trees the two scanners must agree finding-for-finding
+//! — the lexer rewrite changes the machinery, not the verdicts. On the
+//! `fixtures/trees/fp_fixes` tree they must *disagree* in exactly the
+//! ways the rewrite intended: v1's byte-raw-string leak produced
+//! doc-slash and missing-docs false positives that the lexer kills.
+
+use anu_xtask::{legacy, scan_workspace, Lint, Report};
+use std::path::PathBuf;
+
+fn v1_fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn tree(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/trees")
+        .join(name)
+}
+
+fn findings(r: &Report) -> Vec<(String, usize, Lint, String)> {
+    r.violations
+        .iter()
+        .map(|v| (v.file.clone(), v.line, v.lint, v.message.clone()))
+        .collect()
+}
+
+#[test]
+fn scanners_agree_on_v1_fixture_trees() {
+    for name in ["violations", "waived", "clean"] {
+        let root = v1_fixture(name);
+        let new = scan_workspace(&root).expect("new scan");
+        let old = legacy::scan_workspace_legacy(&root).expect("legacy scan");
+        assert_eq!(
+            findings(&new),
+            findings(&old),
+            "finding mismatch on fixture `{name}`"
+        );
+        assert_eq!(new.waived, old.waived, "waived count on `{name}`");
+        assert_eq!(
+            new.files_scanned, old.files_scanned,
+            "files scanned on `{name}`"
+        );
+        for (krate, cov) in &old.doc_coverage {
+            let n = &new.doc_coverage[krate];
+            assert_eq!(
+                (n.documented, n.total),
+                (cov.documented, cov.total),
+                "doc coverage for {krate} on `{name}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn fp_fixes_tree_shows_the_intended_disagreements() {
+    let root = tree("fp_fixes");
+    let old = legacy::scan_workspace_legacy(&root).expect("legacy scan");
+    let new = scan_workspace(&root).expect("new scan");
+
+    // v1: prose and a `pub fn` inside `br#"…"#` leak into the code view,
+    // and a leaked `}` closes the cfg(test) region early.
+    let mut old_findings: Vec<(String, usize, Lint)> = old
+        .violations
+        .iter()
+        .map(|v| (v.file.clone(), v.line, v.lint))
+        .collect();
+    old_findings.sort();
+    assert_eq!(
+        old_findings,
+        [
+            ("crates/core/src/lib.rs".to_string(), 12, Lint::DocSlash),
+            ("crates/core/src/lib.rs".to_string(), 13, Lint::MissingDocs),
+            ("crates/des/src/frame.rs".to_string(), 20, Lint::MissingDocs),
+        ],
+        "the v1 scanner must reproduce its historical false positives"
+    );
+    let old_core = &old.doc_coverage["anu-core"];
+    assert_eq!((old_core.documented, old_core.total), (1, 2));
+
+    // The lexer sees the raw strings as single tokens: nothing leaks.
+    assert!(
+        new.clean(),
+        "token scanner false positives: {:?}",
+        new.violations
+    );
+    let core = &new.doc_coverage["anu-core"];
+    assert_eq!((core.documented, core.total), (1, 1));
+    let des = &new.doc_coverage["anu-des"];
+    assert_eq!((des.documented, des.total), (1, 1));
+}
+
+#[test]
+fn import_alias_tree_findings() {
+    let root = tree("import_alias");
+    let new = scan_workspace(&root).expect("new scan");
+    let got: Vec<(usize, Lint)> = new.violations.iter().map(|v| (v.line, v.lint)).collect();
+    assert_eq!(
+        got,
+        [(7, Lint::ImportGraph), (9, Lint::ImportGraph)],
+        "findings: {:?}",
+        new.violations
+    );
+    assert!(new.violations[1].message.contains("Clock"), "alias named");
+    // The v1 scanner had no import analysis at all.
+    let old = legacy::scan_workspace_legacy(&root).expect("legacy scan");
+    assert!(old.clean());
+}
+
+#[test]
+fn rng_shared_tree_findings() {
+    let root = tree("rng_shared");
+    let new = scan_workspace(&root).expect("new scan");
+    let got: Vec<Lint> = new.violations.iter().map(|v| v.lint).collect();
+    assert_eq!(
+        got,
+        [Lint::RngDiscipline, Lint::RngDiscipline],
+        "findings: {:?}",
+        new.violations
+    );
+    // One constant-seed construction, one stream shared across a scope.
+    assert!(new.violations.iter().any(|v| v.message.contains("seed")));
+    assert!(new.violations.iter().any(|v| v.message.contains("scope")));
+}
+
+#[test]
+fn tick_arith_tree_findings() {
+    let root = tree("tick_arith");
+    let new = scan_workspace(&root).expect("new scan");
+    let got: Vec<(usize, Lint)> = new.violations.iter().map(|v| (v.line, v.lint)).collect();
+    assert_eq!(
+        got,
+        [(5, Lint::TickArith), (10, Lint::TickArith)],
+        "findings: {:?}",
+        new.violations
+    );
+}

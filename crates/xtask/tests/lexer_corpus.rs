@@ -1,0 +1,66 @@
+//! Golden-file tests pinning the lexer's token stream on the corpus under
+//! `fixtures/lexer/`.
+//!
+//! Each `<name>.rs` has a committed `<name>.tokens` rendering (one token
+//! per line: line number, kind, escaped text). Any lexer change that
+//! shifts a span, merges a token, or reclassifies a kind shows up as a
+//! readable diff. Regenerate after an intentional change with:
+//!
+//! ```text
+//! XTASK_REGEN=1 cargo test -p anu-xtask --test lexer_corpus
+//! ```
+
+use anu_xtask::lexer;
+use std::fs;
+use std::path::PathBuf;
+
+const CORPUS: [&str; 3] = ["raw_strings", "comments", "chars_lifetimes"];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/lexer")
+}
+
+#[test]
+fn token_streams_match_goldens() {
+    let dir = corpus_dir();
+    let regen = std::env::var_os("XTASK_REGEN").is_some();
+    for name in CORPUS {
+        let src = fs::read_to_string(dir.join(format!("{name}.rs"))).expect("corpus source");
+        let rendered = lexer::render_tokens(&src);
+        let golden_path = dir.join(format!("{name}.tokens"));
+        if regen {
+            fs::write(&golden_path, &rendered).expect("write golden");
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+        assert_eq!(
+            rendered, golden,
+            "token stream for {name}.rs diverged from its golden; \
+             regenerate with XTASK_REGEN=1 if the change is intentional"
+        );
+    }
+}
+
+#[test]
+fn corpus_sources_lex_without_token_gaps() {
+    // Every non-whitespace byte of every corpus file must be covered by
+    // exactly one token — the lexer never silently drops input.
+    let dir = corpus_dir();
+    for name in CORPUS {
+        let src = fs::read_to_string(dir.join(format!("{name}.rs"))).expect("corpus source");
+        let tokens = lexer::lex(&src);
+        let mut covered = vec![false; src.len()];
+        for t in &tokens {
+            for c in covered.get_mut(t.start..t.end).expect("span in bounds") {
+                assert!(!*c, "{name}: overlapping token at {}..{}", t.start, t.end);
+                *c = true;
+            }
+        }
+        for (i, b) in src.bytes().enumerate() {
+            if !b.is_ascii_whitespace() {
+                assert!(covered[i], "{name}: byte {i} ({:?}) uncovered", b as char);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration tests for the ratchet baseline and the `deps` audit:
+//! fixture baselines drive the compare logic end to end, and the CLI is
+//! exercised through the built binary so the exit-code contract is pinned.
+
+use anu_xtask::ratchet::{compare, Baseline};
+use anu_xtask::{deps, scan_workspace};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rel)
+}
+
+fn read_baseline(rel: &str) -> Baseline {
+    let text = std::fs::read_to_string(fixture(rel)).expect("fixture baseline");
+    Baseline::parse(&text).expect("fixture baseline parses")
+}
+
+fn xtask(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_anu-xtask"))
+        .args(args)
+        .output()
+        .expect("run anu-xtask")
+}
+
+#[test]
+fn tick_arith_tree_regresses_against_tight_baseline() {
+    let report = scan_workspace(&fixture("trees/tick_arith")).expect("scan");
+    let current = Baseline::from_report(&report);
+    assert_eq!(current.lints["tick-arith"].violations, 2);
+
+    let cmp = compare(&read_baseline("ratchet/increase.json"), &current);
+    assert!(!cmp.ok());
+    assert_eq!(cmp.regressions.len(), 1);
+    assert!(cmp.regressions[0].contains("tick-arith"));
+
+    let cmp = compare(&read_baseline("ratchet/decrease.json"), &current);
+    assert!(cmp.ok());
+    // violations 5 -> 2 and waived 1 -> 0 both improved.
+    assert_eq!(cmp.improvements.len(), 2);
+}
+
+#[test]
+fn ratchet_cli_exit_codes() {
+    let root = fixture("trees/tick_arith");
+    let root = root.to_str().expect("utf-8 path");
+
+    let inc = fixture("ratchet/increase.json");
+    let out = xtask(&[
+        "ratchet",
+        "--root",
+        root,
+        "--baseline",
+        inc.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ratchet regression"), "stdout: {stdout}");
+
+    let dec = fixture("ratchet/decrease.json");
+    let out = xtask(&[
+        "ratchet",
+        "--root",
+        root,
+        "--baseline",
+        dec.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "improvement must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ratchet improvement"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("--update"),
+        "improvement without --update must hint at banking it: {stdout}"
+    );
+    // Without --update the fixture baseline is untouched.
+    let text = std::fs::read_to_string(&dec).expect("baseline still there");
+    assert!(text.contains("\"violations\": 5"));
+
+    let out = xtask(&[
+        "ratchet",
+        "--root",
+        root,
+        "--baseline",
+        "/nonexistent/base.json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing baseline is a usage error"
+    );
+}
+
+#[test]
+fn workspace_ratchet_matches_committed_baseline() {
+    // The real tree must hold its own ratchet: scanning the workspace and
+    // comparing against the committed lint-baseline.json yields no
+    // regressions (improvements are allowed until someone banks them).
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let committed = std::fs::read_to_string(workspace.join("lint-baseline.json"))
+        .expect("committed lint-baseline.json");
+    let committed = Baseline::parse(&committed).expect("committed baseline parses");
+    let report = scan_workspace(&workspace).expect("workspace scan");
+    let cmp = compare(&committed, &Baseline::from_report(&report));
+    assert!(
+        cmp.ok(),
+        "lint counts regressed against lint-baseline.json: {:?}",
+        cmp.regressions
+    );
+}
+
+#[test]
+fn deps_audit_fixtures() {
+    let clean = deps::audit(&fixture("deps/clean")).expect("clean lockfile");
+    assert!(clean.is_empty(), "unexpected externals: {clean:?}");
+
+    let ext = deps::audit(&fixture("deps/external")).expect("external lockfile");
+    assert_eq!(ext.len(), 1);
+    assert_eq!(ext[0].name, "rand");
+}
+
+#[test]
+fn deps_cli_exit_codes() {
+    let out = xtask(&[
+        "deps",
+        "--root",
+        fixture("deps/clean").to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let out = xtask(&[
+        "deps",
+        "--root",
+        fixture("deps/external").to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rand"), "stdout: {stdout}");
+}

@@ -28,3 +28,36 @@ fn all_library_crates_fully_documented() {
         );
     }
 }
+
+#[test]
+fn lint_counts_hold_the_ratchet() {
+    // Per-lint violation and waiver counts may only decrease relative to
+    // the committed lint-baseline.json. Raising a count is a reviewed,
+    // hand-edited change to that file — never a side effect of new code.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the workspace root");
+    let committed =
+        anu_xtask::ratchet::Baseline::parse(&committed).expect("lint-baseline.json parses");
+    let report = anu_xtask::scan_workspace(root).expect("workspace tree readable");
+    let current = anu_xtask::ratchet::Baseline::from_report(&report);
+    let cmp = anu_xtask::ratchet::compare(&committed, &current);
+    assert!(
+        cmp.ok(),
+        "lint counts regressed against lint-baseline.json:\n{}",
+        cmp.regressions.join("\n")
+    );
+}
+
+#[test]
+fn lockfile_has_no_external_packages() {
+    // Cargo.lock is the ground truth of what a build links; the sim must
+    // stay dependency-free so draws, hashes, and layouts are pinned by
+    // this repo alone.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let externals = anu_xtask::deps::audit(root).expect("Cargo.lock readable");
+    assert!(
+        externals.is_empty(),
+        "non-workspace packages in Cargo.lock: {externals:?}"
+    );
+}
