@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate. Runs everything a PR must pass, in cheap-to-expensive
 # order: formatting, the clippy wall (default and no-default-features),
-# the repo's own lint driver, the tier-1 build and test suite, and the
-# figures determinism gate (parallel run byte-identical to serial).
+# the repo's own lint driver, the tier-1 build and test suite, the
+# figures determinism gate (parallel run byte-identical to serial), and
+# the hard perf ratchet (fresh throughput vs committed BENCH_history.jsonl).
 # Fails fast on the first broken step and prints a per-step timing
 # summary at the end.
 #
@@ -80,6 +81,9 @@ if [[ "$QUICK" == 1 ]]; then
     # request is lost, tuning resumes after delegate crashes.
     cargo test -q --test chaos_storms
 
+    step "multi-world smoke: partitioned worlds aggregate and stay deterministic"
+    cargo test -q -p anu-harness --test multi_world
+
     summary
     printf '\n==> quick checks passed (release build and figures gate skipped)\n'
     exit 0
@@ -97,29 +101,38 @@ SERIAL_DIR="$(mktemp -d)"
 trap 'rm -rf "$SERIAL_DIR"' EXIT
 # Parallel run writes the canonical out/ CSVs (series + tuner epochs), the
 # chaos sweep (fault-injected grid, chaos_* series + chaos_summary.csv),
-# the epoch-level JSONL traces under out/trace/, and the bench manifest
-# (with the scale-100 throughput probe), and enforces every figure's and
-# chaos cell's checks (non-zero exit on any FAIL)...
+# the epoch-level JSONL traces under out/trace/, the bench manifest (with
+# the scale-100 throughput + queue-backend probe and the multi-world
+# aggregate), and enforces every figure's and chaos cell's checks.
+# --bench-gate arms the exit-code contract: 0 = all pass, 1 = shape/chaos
+# checks failed, 3 = checks passed but throughput fell below 0.8x of the
+# in-process baseline (advisory here — the hard gate is bench-ratchet
+# below, which compares against the committed history instead of grepping
+# log lines).
+FIGURES_RC=0
 ./target/release/figures --jobs "$JOBS" --chaos --out out \
-    --bench-out BENCH_figures.json --scale-bench 100 \
-    --trace-out out/trace --trace-level epoch | tee "$SERIAL_DIR/figures.log"
+    --bench-out BENCH_figures.json --scale-bench 100 --bench-gate \
+    --multi-world 4 --trace-out out/trace --trace-level epoch || FIGURES_RC=$?
+case "$FIGURES_RC" in
+    0) ;;
+    3) echo "WARNING: fig6 throughput below 0.8x the recorded constant baseline (soft verdict — bench-ratchet decides)" ;;
+    *) echo "figures exited with $FIGURES_RC (shape/chaos checks failed)" >&2; exit "$FIGURES_RC" ;;
+esac
 # ...then a serial re-run must reproduce the same bytes, chaos outputs and
-# traces included (the throughput probe is timing-only, so it is skipped).
+# traces included (the throughput probes are timing-only, so they are
+# skipped).
 ./target/release/figures --jobs 1 --chaos --out "$SERIAL_DIR/out" \
     --bench-out "$SERIAL_DIR/BENCH_figures.json" \
     --trace-out "$SERIAL_DIR/out/trace" --trace-level epoch >/dev/null
 diff -r out "$SERIAL_DIR/out"
 echo "out/ (series, tuner epochs, chaos CSVs, JSONL traces) is byte-identical at --jobs $JOBS and --jobs 1"
 
-step "soft perf gate: fig6 throughput vs recorded baseline"
-# Advisory only: warn (never fail) if scale-1 fig6 throughput drops below
-# 0.8x the baseline recorded in the manifest. Machines differ; the
-# committed BENCH_figures.json is the reference point, not a contract.
-GATE_LINE="$(grep '^PERF-GATE' "$SERIAL_DIR/figures.log" || echo "PERF-GATE: no probe output found")"
-echo "$GATE_LINE"
-case "$GATE_LINE" in
-    "PERF-GATE WARN"*) echo "WARNING: fig6 throughput below 0.8x the recorded baseline (soft gate — not failing the build)" ;;
-esac
+step "hard perf gate: anu-xtask bench-ratchet vs committed BENCH_history.jsonl"
+# Fails the build when scale-1 fig6 throughput in the fresh manifest drops
+# below 0.8x of the best record in BENCH_history.jsonl. Improvements are
+# banked with `cargo run -p anu-xtask -- bench-ratchet --update` in a
+# reviewed commit.
+cargo run -q -p anu-xtask -- bench-ratchet --manifest BENCH_figures.json
 
 summary
 printf '\n==> all checks passed\n'

@@ -1,7 +1,7 @@
 //! Cluster configuration: servers, tuning tick, migration costs, faults.
 
 use anu_core::ServerId;
-use anu_des::{SimDuration, SimTime};
+use anu_des::{EventQueueKind, SimDuration, SimTime};
 
 /// One metadata server's static description.
 ///
@@ -198,6 +198,11 @@ pub struct ClusterConfig {
     pub series_bucket: SimDuration,
     /// Fault injections, if any.
     pub faults: Vec<FaultEvent>,
+    /// Event-queue backend the run's [`anu_des::Calendar`] uses. Both
+    /// backends pop the identical `(time, seq)` order — this selects
+    /// performance characteristics, never results (held by the
+    /// scale-equivalence fingerprints over both).
+    pub queue: EventQueueKind,
 }
 
 impl ClusterConfig {
@@ -219,6 +224,7 @@ impl ClusterConfig {
             failover_delay: SimDuration::from_secs(5),
             series_bucket: SimDuration::from_secs(60),
             faults: Vec::new(),
+            queue: EventQueueKind::default(),
         }
     }
 

@@ -597,7 +597,7 @@ impl<'a> World<'a> {
                     TraceLevel::Epoch,
                     now,
                     &TraceEvent::Warning {
-                        code: "invariant",
+                        code: "invariant".into(),
                         detail: v,
                         count: 1,
                     },
@@ -659,7 +659,7 @@ pub fn run_traced(
     let mut world = World {
         cfg,
         workload,
-        cal: Calendar::new(),
+        cal: Calendar::with_backend(cfg.queue),
         servers: speeds
             .iter()
             .map(|&speed| ServerState {
@@ -1010,7 +1010,7 @@ pub fn run_traced(
                 TraceLevel::Epoch,
                 end_time,
                 &TraceEvent::Warning {
-                    code: "stragglers",
+                    code: "stragglers".into(),
                     detail: "requests completed after the nominal horizon".into(),
                     count: world.post_horizon_completions,
                 },

@@ -5,6 +5,8 @@
 //! figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR]
 //!         [--bench-out FILE] [--trace-out DIR] [--trace-level LVL]
 //!         [--series] [--plot] [--chaos] [--scale N] [--scale-bench N]
+//!         [--bench-reps R] [--bench-gate] [--queue heap|calendar]
+//!         [--multi-world W] [--multi-world-scale S]
 //! ```
 //!
 //! The full {figure × policy × seed} grid is enumerated as independent
@@ -34,10 +36,26 @@
 //! `N`× larger id universe. Scaled workloads are non-canonical, so CSV
 //! emission and shape checks are skipped (completing the grid *is* the
 //! check). `--scale-bench N` additionally runs the trace-off fig6 grid at
-//! scale 1 (best of 3) and scale `N` on one worker, records both
-//! throughputs plus the recorded baseline into the manifest's `bench`
-//! section (schema v4), and prints the soft `PERF-GATE OK|WARN` verdict —
-//! informational only, never the exit code.
+//! scale 1 (best of `--bench-reps`, default 3) and scale `N` on one
+//! worker — once per event-queue backend for the heap-vs-calendar
+//! comparison — records the throughputs plus the baseline into the
+//! manifest's `bench` section (schema v5), and prints the `PERF-GATE
+//! OK|WARN` verdict. By default the verdict is informational; with
+//! `--bench-gate` a WARN turns into exit code 3 so callers get a real
+//! exit-code contract instead of grepping log lines (0 = pass, 1 = shape
+//! checks failed, 2 = usage error, 3 = perf gate warned). The baseline
+//! can be overridden via the `ANU_PERF_BASELINE` environment variable.
+//!
+//! `--queue heap|calendar` forces every experiment in the run onto one
+//! event-queue backend (results are identical either way — the scheduler
+//! abstraction guarantees it; only throughput differs).
+//!
+//! `--multi-world W` appends the partitioned multi-world probe: `W`
+//! independent fig6 worlds (derived seeds, each at `--multi-world-scale`,
+//! default 1) drained by the shared worker pool, recording aggregate
+//! events/sec into the manifest's `multi_world` section. This is the
+//! all-cores throughput number: worlds share nothing, so the pool stays
+//! saturated without any cross-world synchronization.
 //!
 //! Tracing: every figure additionally writes its per-epoch tuner telemetry
 //! to `<figure>_tuner_epochs.csv` in `--out`. `--trace-out DIR` records a
@@ -46,12 +64,14 @@
 //! and calibrates the tracing overhead into the manifest. Traces are
 //! byte-identical at any `--jobs` value.
 
+use anu_des::EventQueueKind;
 use anu_harness::runner;
 use anu_harness::{
     chaos_checks, chaos_experiments, chaos_manifest, chaos_rows, checks_for, checks_table, figure,
-    figure_scaled, measure_trace_overhead, reduced, run_scale_bench, series_table, sparklines,
-    summary_table, write_chaos_summary_csv, write_figure_csvs_tagged, write_tuner_epochs_csv,
-    Experiment, FigureVerdict, CHAOS_LEVELS, DEFAULT_SEED, FIGURE_NUMBERS, PLAIN_ANU_LABEL,
+    figure_scaled, measure_trace_overhead, reduced, run_multi_world, run_scale_bench, series_table,
+    sparklines, summary_table, write_chaos_summary_csv, write_figure_csvs_tagged,
+    write_tuner_epochs_csv, Experiment, FigureVerdict, CHAOS_LEVELS, DEFAULT_SEED, FIGURE_NUMBERS,
+    PLAIN_ANU_LABEL,
 };
 use anu_trace::TraceLevel;
 use std::path::PathBuf;
@@ -71,6 +91,11 @@ struct Args {
     chaos: bool,
     scale: u64,
     scale_bench: u64,
+    bench_reps: usize,
+    bench_gate: bool,
+    queue: Option<EventQueueKind>,
+    multi_world: u64,
+    multi_world_scale: u64,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +113,11 @@ fn parse_args() -> Args {
         chaos: false,
         scale: 1,
         scale_bench: 0,
+        bench_reps: 3,
+        bench_gate: false,
+        queue: None,
+        multi_world: 0,
+        multi_world_scale: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -148,9 +178,38 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--scale-bench needs a factor (0 = disabled)")
             }
+            "--bench-reps" => {
+                args.bench_reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r >= 1)
+                    .expect("--bench-reps needs a count >= 1")
+            }
+            "--bench-gate" => args.bench_gate = true,
+            "--queue" => {
+                args.queue = Some(
+                    it.next()
+                        .as_deref()
+                        .and_then(EventQueueKind::parse)
+                        .expect("--queue needs heap|calendar"),
+                )
+            }
+            "--multi-world" => {
+                args.multi_world = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--multi-world needs a world count (0 = disabled)")
+            }
+            "--multi-world-scale" => {
+                args.multi_world_scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 1)
+                    .expect("--multi-world-scale needs a factor >= 1")
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--trace-out DIR] [--trace-level off|epoch|request] [--series] [--plot] [--chaos] [--scale N] [--scale-bench N]"
+                    "usage: figures [--fig N] [--seed S] [--seeds K] [--jobs J] [--out DIR] [--bench-out FILE] [--trace-out DIR] [--trace-level off|epoch|request] [--series] [--plot] [--chaos] [--scale N] [--scale-bench N] [--bench-reps R] [--bench-gate] [--queue heap|calendar] [--multi-world W] [--multi-world-scale S]"
                 );
                 std::process::exit(0);
             }
@@ -159,6 +218,10 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             }
         }
+    }
+    if args.bench_gate && args.scale_bench == 0 {
+        eprintln!("--bench-gate requires --scale-bench N (there is no probe to gate on)");
+        std::process::exit(2);
     }
     args
 }
@@ -241,7 +304,16 @@ fn main() {
         .map(|i| anu_des::task_seed(args.seed, i))
         .collect();
 
-    let (exps, entries) = build_grid(&figures, &seeds, args.scale);
+    let (mut exps, entries) = build_grid(&figures, &seeds, args.scale);
+    if let Some(queue) = args.queue {
+        // Forcing a backend never changes results (the scheduler
+        // abstraction guarantees identical pop order); it only changes
+        // which data structure pays for them.
+        for exp in &mut exps {
+            exp.cluster.queue = queue;
+        }
+        println!("event queue: {} (forced by --queue)", queue.name());
+    }
     let jobs = runner::effective_jobs(args.jobs);
     if args.scale > 1 {
         println!(
@@ -340,7 +412,12 @@ fn main() {
     // section, but the robustness verdicts gate the exit code like the
     // figure checks do.
     let chaos_fragment = if args.chaos {
-        let chaos_exps = chaos_experiments(args.seed);
+        let mut chaos_exps = chaos_experiments(args.seed);
+        if let Some(queue) = args.queue {
+            for exp in &mut chaos_exps {
+                exp.cluster.queue = queue;
+            }
+        }
         println!(
             "\nchaos sweep: {} intensity levels {:?} x {} policies",
             CHAOS_LEVELS.len(),
@@ -430,17 +507,38 @@ fn main() {
         over
     });
 
-    // Optional throughput probe: trace-off fig6 at scale 1 and scale N,
-    // compared against the recorded baseline. Soft gate — the verdict is
-    // printed and recorded but never fails the run.
+    // Optional throughput probe: trace-off fig6 at scale 1 and scale N
+    // (per event-queue backend), compared against the baseline in effect.
+    // The verdict is printed and recorded; with --bench-gate a WARN also
+    // becomes exit code 3.
     let bench = (args.scale_bench > 0).then(|| {
         println!(
-            "\nscale bench: fig6 trace-off on 1 worker at scale 1 (best of 3) and scale {}",
-            args.scale_bench
+            "\nscale bench: fig6 trace-off on 1 worker at scale 1 (best of {}) and scale {} per queue backend",
+            args.bench_reps, args.scale_bench
         );
-        let b = run_scale_bench(args.seed, args.scale_bench, 3);
+        let b = run_scale_bench(args.seed, args.scale_bench, args.bench_reps);
         println!("{}", b.gate_line());
         b
+    });
+
+    // Optional partitioned multi-world probe: aggregate throughput of
+    // independent derived-seed worlds saturating the worker pool.
+    let multi_world = (args.multi_world > 0).then(|| {
+        println!(
+            "\nmulti-world: {} independent fig6 worlds at scale {} on {} workers",
+            args.multi_world, args.multi_world_scale, jobs
+        );
+        let mw = run_multi_world(
+            args.seed,
+            args.multi_world,
+            args.multi_world_scale,
+            args.jobs,
+        );
+        println!(
+            "multi-world aggregate: {} events in {:.2} s -> {:.0} ev/s across {} worlds",
+            mw.sim_events, mw.wall_secs, mw.events_per_sec, mw.worlds
+        );
+        mw
     });
 
     let events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
@@ -455,6 +553,7 @@ fn main() {
         overhead.as_ref(),
         chaos_fragment.as_ref(),
         bench.as_ref(),
+        multi_world.as_ref(),
     );
     std::fs::write(&args.bench_out, manifest.render_pretty()).expect("write bench manifest");
     println!(
@@ -473,5 +572,6 @@ fn main() {
             "some shape checks FAILED"
         }
     );
-    std::process::exit(if all_pass { 0 } else { 1 });
+    let bench_warn = args.bench_gate && bench.as_ref().is_some_and(|b| !b.gate_ok());
+    std::process::exit(runner::gate_exit_code(all_pass, bench_warn));
 }

@@ -44,8 +44,8 @@ pub use report::{
     write_figure_csvs_tagged, write_series_csv, write_tuner_epochs_csv,
 };
 pub use runner::{
-    effective_jobs, manifest, measure_trace_overhead, plan, run_grid, run_grid_traced,
-    run_scale_bench, set_default_jobs, strip_timing, FigureVerdict, ScaleBench, SimTask,
-    TaskOutcome, TraceOverhead, BASELINE_SCALE1_EVENTS_PER_SEC, MANIFEST_SCHEMA,
-    PERF_GATE_THRESHOLD,
+    effective_jobs, gate_exit_code, manifest, measure_trace_overhead, multi_world_experiments,
+    perf_baseline, plan, run_grid, run_grid_traced, run_multi_world, run_scale_bench,
+    set_default_jobs, strip_timing, FigureVerdict, MultiWorld, ScaleBench, SimTask, TaskOutcome,
+    TraceOverhead, BASELINE_SCALE1_EVENTS_PER_SEC, MANIFEST_SCHEMA, PERF_GATE_THRESHOLD,
 };

@@ -28,7 +28,8 @@ use crate::experiment::Experiment;
 use crate::figures::ShapeCheck;
 use anu_cluster::RunResult;
 use anu_core::Json;
-use anu_trace::{JsonlBuffer, NullSink, TraceLevel};
+use anu_des::EventQueueKind;
+use anu_trace::{NullSink, RingSink, TraceLevel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -41,9 +42,13 @@ use std::time::Instant;
 /// sweep ran without `--chaos`). v4 added the top-level `scale` factor
 /// the grid ran at, and the `bench` section (`figures --scale-bench N`):
 /// trace-off fig6 `events_per_sec` at scale 1 and scale N, the recorded
-/// pre-rewrite `baseline` block, and the soft perf `gate` verdict
-/// (`null` when the probe did not run).
-pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v4";
+/// `baseline` block, and the perf `gate` verdict (`null` when the probe
+/// did not run). v5 added the `bench.queue` event-queue comparison
+/// (binary heap vs calendar queue at scale N) and the top-level
+/// `multi_world` section (`figures --multi-world W`): aggregate events/sec
+/// of `W` independent seed×scale worlds drained by the worker pool
+/// (`null` when multi-world mode did not run).
+pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v5";
 
 /// Recorded scale-1 fig6 throughput baseline (simulated events per
 /// wall-clock second, four-policy aggregate, `--jobs 1`, trace off):
@@ -53,11 +58,45 @@ pub const MANIFEST_SCHEMA: &str = "anu-bench-figures/v4";
 /// machine or the workload definitions change.
 pub const BASELINE_SCALE1_EVENTS_PER_SEC: f64 = 11_854_120.0;
 
-/// Soft perf-gate threshold: a run below this fraction of
-/// [`BASELINE_SCALE1_EVENTS_PER_SEC`] prints a `PERF-GATE WARN` line (it
-/// never fails the build — throughput is machine-dependent; the gate
-/// exists to make regressions visible, not to flake CI).
+/// Perf-gate threshold: a run below this fraction of the baseline prints
+/// a `PERF-GATE WARN` line, and under `figures --bench-gate` exits with
+/// code 3. The constant-baseline verdict stays advisory in CI (machines
+/// differ); the *hard* gate is `anu-xtask bench-ratchet`, which compares
+/// against the committed per-commit history in `BENCH_history.jsonl`
+/// using this same threshold.
 pub const PERF_GATE_THRESHOLD: f64 = 0.8;
+
+/// The scale-1 baseline the soft gate compares against:
+/// [`BASELINE_SCALE1_EVENTS_PER_SEC`] unless the `ANU_PERF_BASELINE`
+/// environment variable overrides it (integration tests use the override
+/// to force deterministic PASS/WARN verdicts without real throughput).
+pub fn perf_baseline() -> f64 {
+    std::env::var("ANU_PERF_BASELINE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|b: &f64| b.is_finite() && *b > 0.0)
+        .unwrap_or(BASELINE_SCALE1_EVENTS_PER_SEC)
+}
+
+/// Map a `figures` run's verdicts to its exit code — the contract
+/// `ci/check.sh` consumes instead of grepping log lines:
+///
+/// * `0` — every shape/chaos check passed (and the bench gate, if armed,
+///   cleared the threshold);
+/// * `1` — at least one shape/chaos check failed (overrides everything);
+/// * `3` — checks passed but `--bench-gate` was armed and the throughput
+///   probe fell below the soft threshold.
+///
+/// (Exit `2` is reserved for usage errors, reported before any run.)
+pub fn gate_exit_code(all_pass: bool, bench_warn: bool) -> i32 {
+    if !all_pass {
+        1
+    } else if bench_warn {
+        3
+    } else {
+        0
+    }
+}
 
 /// Requested worker count for [`Experiment::run_all`] when the caller does
 /// not pass one explicitly; 0 means "one worker per available core".
@@ -157,10 +196,11 @@ pub fn run_grid(experiments: &[Experiment], jobs: usize) -> Vec<TaskOutcome> {
 }
 
 /// [`run_grid`] with structured tracing: every task records its run into a
-/// per-task [`JsonlBuffer`] at `level`, returned as
+/// per-task binary [`RingSink`] at `level`, decoded to JSONL lines after
+/// the task's wall time is measured and returned as
 /// [`TaskOutcome::trace_lines`]. Tracing never schedules simulation events,
 /// so the results (and the trace itself) stay byte-identical at any worker
-/// count; [`TraceLevel::Off`] skips the buffer entirely.
+/// count; [`TraceLevel::Off`] skips the sink entirely.
 pub fn run_grid_traced(
     experiments: &[Experiment],
     jobs: usize,
@@ -195,21 +235,28 @@ pub fn run_grid_traced(
 }
 
 /// Run one task's simulation, timing it.
+///
+/// Traced runs record into a binary [`RingSink`] and the wall clock stops
+/// *before* the sink is decoded: `wall_secs` / `events_per_sec` measure
+/// the simulation plus the fixed-width binary append only. The JSONL
+/// rendering cost is paid at flush, outside the timed region, which is
+/// what keeps the trace tax out of every recorded throughput number.
 fn run_task(task: &SimTask, exp: &Experiment, level: TraceLevel) -> TaskOutcome {
     let (label, kind) = &exp.policies[task.policy];
     let t0 = Instant::now();
     let mut policy = kind.build(&exp.cluster, &exp.workload, exp.seed);
-    let (mut result, trace_lines) = if level > TraceLevel::Off {
-        let mut buf = JsonlBuffer::new(level);
-        let r = anu_cluster::run_traced(&exp.cluster, &exp.workload, policy.as_mut(), &mut buf);
-        (r, buf.into_lines())
+    let (mut result, sink) = if level > TraceLevel::Off {
+        let mut ring = RingSink::new(level);
+        let r = anu_cluster::run_traced(&exp.cluster, &exp.workload, policy.as_mut(), &mut ring);
+        (r, Some(ring))
     } else {
         let r =
             anu_cluster::run_traced(&exp.cluster, &exp.workload, policy.as_mut(), &mut NullSink);
-        (r, Vec::new())
+        (r, None)
     };
     result.policy = label.clone();
     let wall_secs = t0.elapsed().as_secs_f64();
+    let trace_lines = sink.map_or_else(Vec::new, RingSink::into_lines);
     let events_per_sec = if wall_secs > 0.0 {
         result.summary.sim_events as f64 / wall_secs
     } else {
@@ -225,9 +272,10 @@ fn run_task(task: &SimTask, exp: &Experiment, level: TraceLevel) -> TaskOutcome 
 }
 
 /// Trace-overhead calibration: events/sec of the same experiment with
-/// tracing off vs fully on ([`TraceLevel::Request`] into a JSONL buffer).
-/// Pure timing data — two runs never reproduce it exactly, so the manifest
-/// treats it as a timing field (see [`TIMING_FIELDS`]).
+/// tracing off vs fully on ([`TraceLevel::Request`] into the binary
+/// [`RingSink`]; JSONL decode happens outside the timed region, as in any
+/// traced sweep). Pure timing data — two runs never reproduce it exactly,
+/// so the manifest treats it as a timing field (see [`TIMING_FIELDS`]).
 #[derive(Clone, Copy, Debug)]
 pub struct TraceOverhead {
     /// Simulated events per wall-clock second with the null sink.
@@ -250,9 +298,9 @@ impl TraceOverhead {
 }
 
 /// Measure trace overhead on one experiment's first policy: run it once
-/// with the null sink and once recording a request-level trace, and compare
-/// events/sec. The simulation results are asserted identical — tracing must
-/// observe, never perturb.
+/// with the null sink and once recording a request-level binary trace, and
+/// compare events/sec. The simulation results are asserted identical —
+/// tracing must observe, never perturb.
 pub fn measure_trace_overhead(exp: &Experiment) -> TraceOverhead {
     let timed = |level: TraceLevel| {
         let tasks = plan(std::slice::from_ref(exp));
@@ -280,26 +328,38 @@ pub fn measure_trace_overhead(exp: &Experiment) -> TraceOverhead {
 }
 
 /// Result of the `figures --scale-bench N` throughput probe: trace-off
-/// fig6 events/sec at scale 1 and at scale `scale`, plus the soft-gate
-/// verdict against the recorded baseline. Everything here is timing data
-/// (see [`TIMING_FIELDS`] — the whole `bench` manifest section is
-/// stripped before determinism comparisons).
+/// fig6 events/sec at scale 1 and at scale `scale`, a heap-vs-calendar
+/// event-queue comparison at scale `scale`, plus the soft-gate verdict
+/// against the baseline in effect (see [`perf_baseline`]). Everything
+/// here is timing data (see [`TIMING_FIELDS`] — the whole `bench`
+/// manifest section is stripped before determinism comparisons).
 #[derive(Clone, Copy, Debug)]
 pub struct ScaleBench {
     /// The scale factor the second probe ran at.
     pub scale: u64,
     /// Best-of-reps events/sec of the canonical (scale-1) fig6 grid.
     pub scale1_events_per_sec: f64,
-    /// Events/sec of the scale-`scale` fig6 grid (single rep — the run is
-    /// long enough to dominate warm-up noise).
+    /// Events/sec of the scale-`scale` fig6 grid with the default event
+    /// queue (single rep — the run is long enough to dominate warm-up
+    /// noise).
     pub scale_n_events_per_sec: f64,
+    /// Events/sec of the scale-`scale` fig6 grid forced onto the binary
+    /// heap backend.
+    pub queue_heap_events_per_sec: f64,
+    /// Events/sec of the scale-`scale` fig6 grid forced onto the calendar
+    /// queue backend.
+    pub queue_calendar_events_per_sec: f64,
+    /// The baseline the gate compared against ([`perf_baseline`] at probe
+    /// time — recorded so the manifest is self-describing even when
+    /// `ANU_PERF_BASELINE` overrode the constant).
+    pub baseline: f64,
 }
 
 impl ScaleBench {
     /// `scale1 / baseline`: ≥ 1 means at least as fast as the recorded
-    /// pre-rewrite commit.
+    /// baseline commit.
     pub fn ratio_vs_baseline(&self) -> f64 {
-        self.scale1_events_per_sec / BASELINE_SCALE1_EVENTS_PER_SEC
+        self.scale1_events_per_sec / self.baseline
     }
 
     /// Does the run clear the soft gate?
@@ -307,22 +367,34 @@ impl ScaleBench {
         self.ratio_vs_baseline() >= PERF_GATE_THRESHOLD
     }
 
+    /// Which event-queue backend won the scale-`scale` comparison.
+    pub fn queue_winner(&self) -> EventQueueKind {
+        if self.queue_calendar_events_per_sec > self.queue_heap_events_per_sec {
+            EventQueueKind::CalendarQueue
+        } else {
+            EventQueueKind::BinaryHeap
+        }
+    }
+
     /// The one-line `PERF-GATE OK|WARN` verdict the `figures` binary
-    /// prints and `ci/check.sh` surfaces (without failing on WARN).
+    /// prints; under `--bench-gate` a WARN also becomes exit code 3 (see
+    /// [`gate_exit_code`]).
     pub fn gate_line(&self) -> String {
         format!(
-            "PERF-GATE {}: fig6 scale-1 {:.0} ev/s = {:.2}x recorded baseline {:.0} ev/s (soft threshold {:.2}x); scale-{} {:.0} ev/s",
+            "PERF-GATE {}: fig6 scale-1 {:.0} ev/s = {:.2}x recorded baseline {:.0} ev/s (soft threshold {:.2}x); scale-{} {:.0} ev/s (heap {:.0}, calendar {:.0})",
             if self.gate_ok() { "OK" } else { "WARN" },
             self.scale1_events_per_sec,
             self.ratio_vs_baseline(),
-            BASELINE_SCALE1_EVENTS_PER_SEC,
+            self.baseline,
             PERF_GATE_THRESHOLD,
             self.scale,
             self.scale_n_events_per_sec,
+            self.queue_heap_events_per_sec,
+            self.queue_calendar_events_per_sec,
         )
     }
 
-    /// The `bench` manifest section (schema v4).
+    /// The `bench` manifest section (schema v5).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("scale", Json::u64(self.scale)),
@@ -335,12 +407,24 @@ impl ScaleBench {
                 Json::f64(self.scale_n_events_per_sec),
             ),
             (
-                "baseline",
+                "queue",
                 Json::obj(vec![
                     (
-                        "scale1_events_per_sec",
-                        Json::f64(BASELINE_SCALE1_EVENTS_PER_SEC),
+                        "heap_events_per_sec",
+                        Json::f64(self.queue_heap_events_per_sec),
                     ),
+                    (
+                        "calendar_events_per_sec",
+                        Json::f64(self.queue_calendar_events_per_sec),
+                    ),
+                    ("winner", Json::str(self.queue_winner().name())),
+                    ("default", Json::str(EventQueueKind::default().name())),
+                ]),
+            ),
+            (
+                "baseline",
+                Json::obj(vec![
+                    ("scale1_events_per_sec", Json::f64(self.baseline)),
                     (
                         "note",
                         Json::str(
@@ -364,14 +448,17 @@ impl ScaleBench {
 
 /// Run the scale-bench probe: the full fig6 grid (all four policies) with
 /// tracing off on a single worker, at scale 1 (`reps` repetitions, best
-/// taken — single-digit-second runs are noisy) and at scale `scale` (one
-/// repetition). Aggregate events/sec per rep is total simulated events
-/// over total simulation wall time.
+/// taken — single-digit-second runs are noisy), at scale `scale` on the
+/// default event queue (one repetition), and once per event-queue backend
+/// at scale `scale` for the heap-vs-calendar comparison. Aggregate
+/// events/sec per rep is total simulated events over total simulation
+/// wall time.
 pub fn run_scale_bench(seed: u64, scale: u64, reps: usize) -> ScaleBench {
-    let probe = |s: u64, reps: usize| -> f64 {
-        let exp = crate::figures::figure_scaled(6, seed, s)
+    let probe = |s: u64, reps: usize, queue: EventQueueKind| -> f64 {
+        let mut exp = crate::figures::figure_scaled(6, seed, s)
             // anu-lint: allow(panic) -- figure 6 always exists
             .expect("figure 6 exists");
+        exp.cluster.queue = queue;
         let mut best = 0.0f64;
         for _ in 0..reps.max(1) {
             let outcomes = run_grid(std::slice::from_ref(&exp), 1);
@@ -381,16 +468,100 @@ pub fn run_scale_bench(seed: u64, scale: u64, reps: usize) -> ScaleBench {
         }
         best
     };
-    let scale1_events_per_sec = probe(1, reps);
-    let scale_n_events_per_sec = if scale > 1 {
-        probe(scale, 1)
-    } else {
-        scale1_events_per_sec
+    let default = EventQueueKind::default();
+    let scale1_events_per_sec = probe(1, reps, default);
+    let bench_scale = scale.max(1);
+    let queue_heap_events_per_sec = probe(bench_scale, 1, EventQueueKind::BinaryHeap);
+    let queue_calendar_events_per_sec = probe(bench_scale, 1, EventQueueKind::CalendarQueue);
+    // The default backend's scale-N number already exists in the queue
+    // comparison — reuse it rather than paying a third long run.
+    let scale_n_events_per_sec = match default {
+        EventQueueKind::BinaryHeap => queue_heap_events_per_sec,
+        EventQueueKind::CalendarQueue => queue_calendar_events_per_sec,
     };
     ScaleBench {
         scale,
         scale1_events_per_sec,
         scale_n_events_per_sec,
+        queue_heap_events_per_sec,
+        queue_calendar_events_per_sec,
+        baseline: perf_baseline(),
+    }
+}
+
+/// Result of the `figures --multi-world W` partitioned run: `worlds`
+/// independent fig6 worlds (seeds derived from the base seed via
+/// [`anu_des::task_seed`], each at `scale`) drained by the deterministic
+/// worker pool, with the aggregate events/sec across all of them. On a
+/// many-core machine this is the number that saturates the box: worlds
+/// share nothing, so throughput scales with cores until memory bandwidth
+/// intervenes. Timing data — the whole section is stripped before
+/// determinism comparisons (see [`TIMING_FIELDS`]).
+#[derive(Clone, Copy, Debug)]
+pub struct MultiWorld {
+    /// How many independent worlds ran.
+    pub worlds: u64,
+    /// Scale factor of every world's workload.
+    pub scale: u64,
+    /// Worker-pool size the run used (after auto resolution).
+    pub jobs: usize,
+    /// Total simulated events across all worlds.
+    pub sim_events: u64,
+    /// Wall-clock seconds for the whole partitioned run.
+    pub wall_secs: f64,
+    /// `sim_events / wall_secs` — the aggregate throughput number.
+    pub events_per_sec: f64,
+}
+
+impl MultiWorld {
+    /// The `multi_world` manifest section (schema v5).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worlds", Json::u64(self.worlds)),
+            ("scale", Json::u64(self.scale)),
+            ("jobs", Json::usize(self.jobs)),
+            ("sim_events", Json::u64(self.sim_events)),
+            ("wall_secs", Json::f64(self.wall_secs)),
+            ("events_per_sec", Json::f64(self.events_per_sec)),
+        ])
+    }
+}
+
+/// The experiments a `--multi-world` run executes: `worlds` copies of the
+/// fig6 grid, world `w` seeded with `task_seed(base_seed, w)` and scaled
+/// by `scale`. Exposed separately so tests can inspect the plan without
+/// timing anything.
+pub fn multi_world_experiments(base_seed: u64, worlds: u64, scale: u64) -> Vec<Experiment> {
+    (0..worlds.max(1))
+        .map(|w| {
+            let mut exp = crate::figures::figure_scaled(6, anu_des::task_seed(base_seed, w), scale)
+                // anu-lint: allow(panic) -- figure 6 always exists
+                .expect("figure 6 exists");
+            exp.name = format!("mw{w}_{}", exp.name);
+            exp
+        })
+        .collect()
+}
+
+/// Run the partitioned multi-world probe: build the
+/// [`multi_world_experiments`] grid, drain it on the deterministic worker
+/// pool with `jobs` workers (0 = one per core), and aggregate events/sec
+/// across every world×policy task. Tracing is off — this measures the
+/// simulation kernel, and per-world traces at scale are gigabytes.
+pub fn run_multi_world(base_seed: u64, worlds: u64, scale: u64, jobs: usize) -> MultiWorld {
+    let exps = multi_world_experiments(base_seed, worlds, scale);
+    let jobs = effective_jobs(jobs);
+    let t0 = Instant::now();
+    let outcomes = run_grid(&exps, jobs);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let sim_events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
+    MultiWorld {
+        worlds: worlds.max(1),
+        scale,
+        jobs,
+        sim_events,
+        wall_secs,
+        events_per_sec: sim_events as f64 / wall_secs.max(1e-9),
     }
 }
 
@@ -439,7 +610,8 @@ impl FigureVerdict {
 /// swept fault intensities, `None` otherwise (serialized as `null`).
 /// `scale` is the factor the grid's workloads were multiplied by (1 for
 /// the canonical figures); `bench` is the [`ScaleBench`] probe result
-/// when `--scale-bench` ran, `None` otherwise (serialized as `null`).
+/// when `--scale-bench` ran, `None` otherwise (serialized as `null`);
+/// `multi_world` likewise for the `--multi-world` partitioned run.
 // One parameter per manifest section, called from exactly one place (the
 // figures binary); a builder would be ceremony without safety.
 #[allow(clippy::too_many_arguments)]
@@ -454,6 +626,7 @@ pub fn manifest(
     overhead: Option<&TraceOverhead>,
     chaos: Option<&Json>,
     bench: Option<&ScaleBench>,
+    multi_world: Option<&MultiWorld>,
 ) -> Json {
     let total_events: u64 = outcomes.iter().map(|o| o.result.summary.sim_events).sum();
     let events_per_sec = if wall_secs > 0.0 {
@@ -523,6 +696,10 @@ pub fn manifest(
         ),
         ("chaos", chaos.cloned().unwrap_or(Json::Null)),
         ("bench", bench.map_or(Json::Null, ScaleBench::to_json)),
+        (
+            "multi_world",
+            multi_world.map_or(Json::Null, MultiWorld::to_json),
+        ),
         ("tasks", Json::arr(tasks)),
         ("figures", Json::arr(figures)),
     ])
@@ -530,13 +707,15 @@ pub fn manifest(
 
 /// Keys of manifest fields that legitimately differ between two runs of
 /// the same grid (they measure the run, not the simulation). The whole
-/// `bench` section is timing: it exists to record throughput.
-pub const TIMING_FIELDS: [&str; 5] = [
+/// `bench` and `multi_world` sections are timing: they exist to record
+/// throughput.
+pub const TIMING_FIELDS: [&str; 6] = [
     "wall_secs",
     "events_per_sec",
     "jobs",
     "trace_overhead",
     "bench",
+    "multi_world",
 ];
 
 /// Copy of a manifest with every timing field removed, at every depth.
@@ -679,6 +858,17 @@ mod tests {
             scale: 100,
             scale1_events_per_sec: 1.2e7,
             scale_n_events_per_sec: 1.5e7,
+            queue_heap_events_per_sec: 1.5e7,
+            queue_calendar_events_per_sec: 1.4e7,
+            baseline: BASELINE_SCALE1_EVENTS_PER_SEC,
+        };
+        let mw = MultiWorld {
+            worlds: 4,
+            scale: 2,
+            jobs: 2,
+            sim_events: 1_000_000,
+            wall_secs: 0.5,
+            events_per_sec: 2e6,
         };
         let ma = manifest(
             5,
@@ -691,6 +881,7 @@ mod tests {
             Some(&over),
             Some(&chaos),
             Some(&bench),
+            Some(&mw),
         );
         let mb = manifest(
             5,
@@ -702,6 +893,7 @@ mod tests {
             TraceLevel::Off,
             None,
             Some(&chaos),
+            None,
             None,
         );
         assert_ne!(ma, mb, "timing fields must differ");
@@ -715,6 +907,10 @@ mod tests {
         assert!(
             !stripped.contains("\"bench\""),
             "bench is timing data and must strip"
+        );
+        assert!(
+            !stripped.contains("\"multi_world\""),
+            "multi_world is timing data and must strip"
         );
     }
 
@@ -742,9 +938,10 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(m.get("schema").unwrap().as_str().unwrap(), MANIFEST_SCHEMA);
-        assert_eq!(MANIFEST_SCHEMA, "anu-bench-figures/v4");
+        assert_eq!(MANIFEST_SCHEMA, "anu-bench-figures/v5");
         assert_eq!(m.get("base_seed").unwrap().as_u64().unwrap(), 5);
         assert_eq!(m.get("scale").unwrap().as_u64().unwrap(), 1);
         assert_eq!(m.get("tasks_total").unwrap().as_usize().unwrap(), 3);
@@ -752,6 +949,7 @@ mod tests {
         assert_eq!(m.get("trace_overhead").unwrap(), &Json::Null);
         assert_eq!(m.get("chaos").unwrap(), &Json::Null);
         assert_eq!(m.get("bench").unwrap(), &Json::Null);
+        assert_eq!(m.get("multi_world").unwrap(), &Json::Null);
         assert!(!m.get("all_pass").unwrap().as_bool().unwrap());
         let tasks = m.get("tasks").unwrap().as_arr().unwrap();
         assert_eq!(tasks.len(), 3);
@@ -805,16 +1003,24 @@ mod tests {
             scale: 100,
             scale1_events_per_sec: BASELINE_SCALE1_EVENTS_PER_SEC * 1.6,
             scale_n_events_per_sec: 2.0e7,
+            queue_heap_events_per_sec: 2.0e7,
+            queue_calendar_events_per_sec: 1.8e7,
+            baseline: BASELINE_SCALE1_EVENTS_PER_SEC,
         };
         assert!(fast.gate_ok());
         assert!(fast.gate_line().starts_with("PERF-GATE OK"));
+        assert_eq!(fast.queue_winner(), EventQueueKind::BinaryHeap);
         let slow = ScaleBench {
             scale: 100,
             scale1_events_per_sec: BASELINE_SCALE1_EVENTS_PER_SEC * 0.5,
             scale_n_events_per_sec: 1.0e6,
+            queue_heap_events_per_sec: 1.0e6,
+            queue_calendar_events_per_sec: 1.1e6,
+            baseline: BASELINE_SCALE1_EVENTS_PER_SEC,
         };
         assert!(!slow.gate_ok());
         assert!(slow.gate_line().starts_with("PERF-GATE WARN"));
+        assert_eq!(slow.queue_winner(), EventQueueKind::CalendarQueue);
         let j = fast.to_json();
         assert_eq!(j.get("scale").unwrap().as_u64().unwrap(), 100);
         assert_eq!(
@@ -824,9 +1030,45 @@ mod tests {
                 .unwrap(),
             &Json::f64(BASELINE_SCALE1_EVENTS_PER_SEC)
         );
+        let queue = j.get("queue").unwrap();
+        assert_eq!(
+            queue.get("winner").unwrap().as_str().unwrap(),
+            EventQueueKind::BinaryHeap.name()
+        );
+        assert_eq!(
+            queue.get("default").unwrap().as_str().unwrap(),
+            EventQueueKind::default().name()
+        );
         let gate = j.get("gate").unwrap();
         assert!(gate.get("ok").unwrap().as_bool().unwrap());
         assert_eq!(gate.get("threshold").unwrap(), &Json::f64(0.8));
+    }
+
+    #[test]
+    fn gate_exit_codes_follow_the_contract() {
+        assert_eq!(gate_exit_code(true, false), 0);
+        assert_eq!(gate_exit_code(true, true), 3);
+        // A shape failure overrides the bench verdict either way.
+        assert_eq!(gate_exit_code(false, false), 1);
+        assert_eq!(gate_exit_code(false, true), 1);
+    }
+
+    #[test]
+    fn multi_world_plan_is_deterministic_and_distinct() {
+        let exps = multi_world_experiments(42, 3, 2);
+        assert_eq!(exps.len(), 3);
+        let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["mw0_fig6", "mw1_fig6", "mw2_fig6"]);
+        // Worlds get distinct derived seeds, and rebuilding the plan
+        // reproduces them exactly.
+        assert_ne!(exps[0].seed, exps[1].seed);
+        let again = multi_world_experiments(42, 3, 2);
+        for (a, b) in exps.iter().zip(&again) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.name, b.name);
+        }
+        // Zero worlds clamps to one instead of an empty (0-event) run.
+        assert_eq!(multi_world_experiments(42, 0, 1).len(), 1);
     }
 
     #[test]

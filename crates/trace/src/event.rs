@@ -149,8 +149,10 @@ pub enum TraceEvent {
     },
     /// A diagnostic condition worth surfacing (epoch level).
     Warning {
-        /// Stable machine-readable code, e.g. `stragglers`.
-        code: &'static str,
+        /// Stable machine-readable code, e.g. `stragglers`. Owned (not
+        /// `&'static str`) so decoded binary records can reconstruct the
+        /// exact event value.
+        code: String,
         /// Human-readable detail.
         detail: String,
         /// How many instances the warning covers.
@@ -290,7 +292,7 @@ impl TraceEvent {
                 detail,
                 count,
             } => {
-                f.push(("code".into(), Json::str(*code)));
+                f.push(("code".into(), Json::str(code)));
                 f.push(("detail".into(), Json::str(detail)));
                 f.push(("count".into(), Json::u64(*count)));
             }
@@ -383,7 +385,7 @@ mod tests {
                 delayed: true,
             },
             TraceEvent::Warning {
-                code: "stragglers",
+                code: "stragglers".into(),
                 detail: "requests in flight past horizon".into(),
                 count: 9,
             },

@@ -27,11 +27,28 @@
 
 mod event;
 mod hist;
+mod ring;
 
 pub use event::TraceEvent;
 pub use hist::{DepthRing, LogHistogram};
+pub use ring::RingSink;
 
 use anu_des::SimTime;
+
+/// Render one event as its canonical JSONL line: `{"t_us":…,"ev":…,…}`.
+///
+/// This is the single rendering path shared by every sink — the
+/// [`JsonlBuffer`] hot path and the [`RingSink`] flush-time decoder call
+/// the same function, so trace bytes are identical whichever sink
+/// recorded the run.
+pub fn render_line(at: SimTime, event: &TraceEvent) -> String {
+    let mut obj = vec![("t_us".to_string(), anu_core::Json::u64(at.0))];
+    let anu_core::Json::Obj(fields) = event.to_json() else {
+        unreachable!("TraceEvent::to_json always yields an object");
+    };
+    obj.extend(fields);
+    anu_core::Json::Obj(obj).render()
+}
 
 /// How much of the event taxonomy a sink wants.
 ///
@@ -139,12 +156,7 @@ impl TraceSink for JsonlBuffer {
     }
 
     fn record(&mut self, at: SimTime, event: &TraceEvent) {
-        let mut obj = vec![("t_us".to_string(), anu_core::Json::u64(at.0))];
-        let anu_core::Json::Obj(fields) = event.to_json() else {
-            unreachable!("TraceEvent::to_json always yields an object");
-        };
-        obj.extend(fields);
-        self.lines.push(anu_core::Json::Obj(obj).render());
+        self.lines.push(render_line(at, event));
     }
 }
 

@@ -62,6 +62,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod bench;
 pub mod deps;
 mod imports;
 pub mod legacy;
